@@ -1,0 +1,39 @@
+//! Generator throughput for all 16 Table II dataset rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datasets");
+    for gen in saga_datasets::all_generators() {
+        // the IoT networks are ~100 nodes; give them fewer samples
+        if matches!(gen.name, "etl" | "predict" | "stats" | "train") {
+            group.sample_size(20);
+        } else {
+            group.sample_size(50);
+        }
+        group.bench_function(gen.name, |b| {
+            let mut rng = StdRng::seed_from_u64(42);
+            b.iter(|| black_box(gen.sample(&mut rng).graph.task_count()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("case_study_families");
+    group.bench_function("heft_weak", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(saga_datasets::families::heft_weak_instance(&mut rng)))
+    });
+    group.bench_function("cpop_weak", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(saga_datasets::families::cpop_weak_instance(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_families);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! One micro-benchmark per paper table/figure harness, so the cost of each
+//! regeneration pipeline is tracked alongside the library:
+//!
+//! * `table2_row` — sampling statistics for one dataset row;
+//! * `fig2_cell` — benchmarking one (dataset, all-schedulers) cell batch;
+//! * `fig4_cell` — one PISA pairwise cell at a reduced budget;
+//! * `fig7_batch` / `fig8_batch` — a 50-instance family comparison;
+//! * `app_pisa_cell` — one Section VII application-specific cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saga_pisa::app_specific::AppSpecific;
+use saga_pisa::perturb::{initial_instance, GeneralPerturber};
+use saga_pisa::{Pisa, PisaConfig};
+use saga_schedulers::Scheduler;
+use std::hint::black_box;
+
+fn tiny_config(seed: u64) -> PisaConfig {
+    PisaConfig {
+        i_max: 60,
+        restarts: 1,
+        seed,
+        ..PisaConfig::default()
+    }
+}
+
+fn table2_row(c: &mut Criterion) {
+    let gen = saga_datasets::by_name("blast").unwrap();
+    c.bench_function("figures/table2_row", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            let inst = gen.sample(&mut rng);
+            black_box((inst.graph.task_count(), inst.network.node_count()))
+        })
+    });
+}
+
+fn fig2_cell(c: &mut Criterion) {
+    let gen = saga_datasets::by_name("chains").unwrap();
+    let schedulers = saga_schedulers::benchmark_schedulers();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    group.bench_function("fig2_cell", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let inst = gen.sample(&mut rng);
+            let best = schedulers
+                .iter()
+                .map(|s| s.schedule(&inst).makespan())
+                .fold(f64::INFINITY, f64::min);
+            black_box(best)
+        })
+    });
+    group.finish();
+}
+
+fn fig4_cell(c: &mut Criterion) {
+    let perturber = GeneralPerturber::default();
+    let pisa = Pisa {
+        target: &saga_schedulers::Heft,
+        baseline: &saga_schedulers::FastestNode,
+        perturber: &perturber,
+        config: tiny_config(2),
+    };
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig4_cell", |b| {
+        b.iter(|| black_box(pisa.run(&|rng| initial_instance(rng)).ratio))
+    });
+    group.finish();
+}
+
+fn fig7_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig7_batch50", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut total = 0.0;
+            for _ in 0..50 {
+                let inst = saga_datasets::families::heft_weak_instance(&mut rng);
+                total += saga_schedulers::Heft.schedule(&inst).makespan();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("fig8_batch50", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            let mut total = 0.0;
+            for _ in 0..50 {
+                let inst = saga_datasets::families::cpop_weak_instance(&mut rng);
+                total += saga_schedulers::Cpop.schedule(&inst).makespan();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn app_pisa_cell(c: &mut Criterion) {
+    let app = AppSpecific::new("blast", 1.0).unwrap();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("app_pisa_cell", |b| {
+        b.iter(|| {
+            black_box(
+                app.run_pair(
+                    &saga_schedulers::Cpop,
+                    &saga_schedulers::FastestNode,
+                    tiny_config(5),
+                )
+                .ratio,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn extension_cells(c: &mut Criterion) {
+    // stochastic_eval: one Monte-Carlo batch for a fixed plan
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    let inst = saga_bench::montage_instance(8, 9);
+    let stoch = saga_core::stochastic::StochasticInstance::jittered(&inst, 0.2);
+    let plan = saga_schedulers::Heft.schedule(&stoch.expected_instance());
+    group.bench_function("stochastic_eval_cell", |b| {
+        let mut rng = StdRng::seed_from_u64(10);
+        b.iter(|| {
+            black_box(saga_core::stochastic::static_plan_makespan(
+                &plan, &stoch, 25, &mut rng,
+            ))
+        })
+    });
+    // metric_pisa: one energy-objective annealing cell
+    let perturber = GeneralPerturber::default();
+    group.bench_function("metric_pisa_cell", |b| {
+        b.iter(|| {
+            black_box(
+                saga_pisa::metric::metric_search(
+                    saga_pisa::metric::Objective::Energy {
+                        idle_fraction: 0.2,
+                        comm_energy_per_unit: 1.0,
+                    },
+                    &saga_schedulers::Heft,
+                    &saga_schedulers::FastestNode,
+                    &perturber,
+                    tiny_config(11),
+                    &|rng| initial_instance(rng),
+                )
+                .ratio,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    table2_row,
+    fig2_cell,
+    fig4_cell,
+    fig7_batch,
+    app_pisa_cell,
+    extension_cells
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! PISA throughput: perturbation cost, single-objective evaluation cost,
+//! and a short end-to-end annealing run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saga_pisa::perturb::{initial_instance, GeneralPerturber, Perturber};
+use saga_pisa::{Pisa, PisaConfig};
+use std::hint::black_box;
+
+fn bench_perturb(c: &mut Criterion) {
+    c.bench_function("pisa/perturb", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut inst = initial_instance(&mut rng);
+        let p = GeneralPerturber::default();
+        b.iter(|| {
+            p.perturb(&mut inst, &mut rng);
+            black_box(inst.graph.dependency_count())
+        })
+    });
+}
+
+fn bench_objective(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let inst = initial_instance(&mut rng);
+    let perturber = GeneralPerturber::default();
+    let pisa = Pisa {
+        target: &saga_schedulers::Heft,
+        baseline: &saga_schedulers::Cpop,
+        perturber: &perturber,
+        config: PisaConfig::default(),
+    };
+    c.bench_function("pisa/objective_eval", |b| {
+        b.iter(|| black_box(pisa.ratio(black_box(&inst))))
+    });
+}
+
+fn bench_short_run(c: &mut Criterion) {
+    let perturber = GeneralPerturber::default();
+    let pisa = Pisa {
+        target: &saga_schedulers::Heft,
+        baseline: &saga_schedulers::Cpop,
+        perturber: &perturber,
+        config: PisaConfig {
+            i_max: 50,
+            restarts: 1,
+            seed: 5,
+            ..PisaConfig::default()
+        },
+    };
+    let mut group = c.benchmark_group("pisa");
+    group.sample_size(20);
+    group.bench_function("anneal_50_iters", |b| {
+        b.iter(|| black_box(pisa.run(&|rng| initial_instance(rng)).ratio))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturb, bench_objective, bench_short_run);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Schedule-generation time per algorithm, on a small chains instance and a
+//! larger montage instance — the measured counterpart of Table I's
+//! complexity column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let small = saga_bench::chains_instance(12, 1);
+    let large = saga_bench::montage_instance(12, 2);
+    let mut group = c.benchmark_group("schedulers");
+    for s in saga_schedulers::benchmark_schedulers() {
+        group.bench_with_input(
+            BenchmarkId::new(s.name(), format!("chains_{}", small.graph.task_count())),
+            &small,
+            |b, inst| b.iter(|| black_box(s.schedule(black_box(inst)).makespan())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(s.name(), format!("montage_{}", large.graph.task_count())),
+            &large,
+            |b, inst| b.iter(|| black_box(s.schedule(black_box(inst)).makespan())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    // exponential references on a toy instance only
+    let mut g = saga_core::TaskGraph::chain(&[0.5, 0.7, 0.9, 0.4], &[0.3, 0.2, 0.6]);
+    let extra = g.add_task("x", 0.5);
+    g.add_dependency(saga_core::TaskId(0), extra, 0.1).unwrap();
+    let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0, 0.7], 0.8), g);
+    let mut group = c.benchmark_group("exact_references");
+    for s in saga_schedulers::exact_schedulers() {
+        group.bench_function(s.name(), |b| {
+            b.iter(|| black_box(s.schedule(black_box(&inst)).makespan()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_exact);
+criterion_main!(benches);

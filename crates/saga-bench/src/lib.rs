@@ -1,0 +1,67 @@
+//! # saga-bench
+//!
+//! Criterion benchmarks for the whole stack:
+//!
+//! * `benches/schedulers.rs` — schedule-generation time per algorithm vs
+//!   graph size (the "scheduling complexity" column of Table I, measured);
+//! * `benches/datasets.rs` — generator throughput for all 16 Table II rows;
+//! * `benches/pisa.rs` — annealing throughput (evaluations/second) and
+//!   perturbation cost;
+//! * `benches/figures.rs` — one micro-benchmark per paper table/figure
+//!   harness (a single Fig. 2 cell, a single Fig. 4 cell, one Fig. 7/8
+//!   family batch, one app-specific cell), so regressions in experiment
+//!   runtime are caught the same way as library regressions.
+//!
+//! Run with `cargo bench --workspace`. Shared fixture builders live here.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saga_core::Instance;
+
+/// A deterministic parallel-chains instance with roughly `tasks` tasks — the
+/// standard benchmark workload shape.
+pub fn chains_instance(tasks: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // resample until the requested size bracket is hit (generator sizes are
+    // random in 6..=27); widen tolerance for the big sizes
+    let gen = saga_datasets::by_name("chains").expect("chains generator");
+    let mut best: Option<Instance> = None;
+    for _ in 0..256 {
+        let inst = gen.sample(&mut rng);
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                (inst.graph.task_count() as i64 - tasks as i64).abs()
+                    < (b.graph.task_count() as i64 - tasks as i64).abs()
+            }
+        };
+        if better {
+            best = Some(inst);
+        }
+    }
+    best.expect("sampled at least once")
+}
+
+/// A layered montage-style instance (a heavier, realistic workload).
+pub fn montage_instance(width: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = saga_datasets::workflows::montage_graph(&mut rng, width);
+    let sp = saga_datasets::workflows::spec("montage").unwrap();
+    let net = saga_datasets::workflows::sample_chameleon_network(&mut rng, &sp);
+    Instance::new(net, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(
+            chains_instance(15, 1).to_json(),
+            chains_instance(15, 1).to_json()
+        );
+        let m = montage_instance(8, 2);
+        assert!(m.graph.task_count() > 20);
+    }
+}

@@ -1,0 +1,344 @@
+//! Incremental schedule construction shared by every list scheduler.
+//!
+//! `ScheduleBuilder` keeps a per-node timeline of placed tasks, answers
+//! "earliest feasible start" queries (with or without HEFT-style insertion
+//! into idle gaps), and tracks data-ready times implied by previously placed
+//! predecessors. Every algorithm in `saga-schedulers` is a strategy over this
+//! one substrate, which is what makes their schedules comparable.
+
+use crate::{Assignment, Instance, NodeId, Schedule, TaskId};
+
+/// A placed interval on a node timeline.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    start: f64,
+    finish: f64,
+    task: TaskId,
+}
+
+/// Builds a [`Schedule`] one task at a time.
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder<'a> {
+    inst: &'a Instance,
+    /// Per-node timelines, each sorted by start time.
+    timelines: Vec<Vec<Slot>>,
+    /// Finish time per task (`NaN` until placed).
+    finish: Vec<f64>,
+    /// Node per task (undefined until placed).
+    node_of: Vec<NodeId>,
+    placed: Vec<bool>,
+    placed_count: usize,
+}
+
+impl<'a> ScheduleBuilder<'a> {
+    /// Starts an empty schedule for `inst`.
+    pub fn new(inst: &'a Instance) -> Self {
+        let t = inst.graph.task_count();
+        ScheduleBuilder {
+            inst,
+            timelines: vec![Vec::new(); inst.network.node_count()],
+            finish: vec![f64::NAN; t],
+            node_of: vec![NodeId(0); t],
+            placed: vec![false; t],
+            placed_count: 0,
+        }
+    }
+
+    /// The instance being scheduled.
+    pub fn instance(&self) -> &Instance {
+        self.inst
+    }
+
+    /// Whether `t` has been placed.
+    #[inline]
+    pub fn is_placed(&self, t: TaskId) -> bool {
+        self.placed[t.index()]
+    }
+
+    /// Number of tasks placed so far.
+    pub fn placed_count(&self) -> usize {
+        self.placed_count
+    }
+
+    /// Finish time of a placed task.
+    ///
+    /// # Panics
+    /// Panics (debug) if the task has not been placed.
+    #[inline]
+    pub fn finish_time(&self, t: TaskId) -> f64 {
+        debug_assert!(self.placed[t.index()], "task {t} not placed yet");
+        self.finish[t.index()]
+    }
+
+    /// Node of a placed task.
+    #[inline]
+    pub fn node_of(&self, t: TaskId) -> NodeId {
+        debug_assert!(self.placed[t.index()], "task {t} not placed yet");
+        self.node_of[t.index()]
+    }
+
+    /// Whether every predecessor of `t` has been placed (i.e. `t` is ready).
+    pub fn is_ready(&self, t: TaskId) -> bool {
+        self.inst
+            .graph
+            .predecessors(t)
+            .iter()
+            .all(|e| self.placed[e.task.index()])
+    }
+
+    /// Earliest time all of `t`'s input data can be present on `v`, given
+    /// where its (already placed) predecessors ran:
+    /// `max_p finish(p) + c(p,t)/s(node(p), v)`.
+    ///
+    /// # Panics
+    /// Panics (debug) if a predecessor is unplaced.
+    pub fn data_ready_time(&self, t: TaskId, v: NodeId) -> f64 {
+        let mut ready = 0.0f64;
+        for e in self.inst.graph.predecessors(t) {
+            debug_assert!(self.placed[e.task.index()], "predecessor {} unplaced", e.task);
+            let p = e.task.index();
+            let arrival =
+                self.finish[p] + self.inst.network.comm_time(e.cost, self.node_of[p], v);
+            ready = ready.max(arrival);
+        }
+        ready
+    }
+
+    /// Earliest start on `v` at or after `ready` for a task of duration
+    /// `duration`, considering only the tail of the timeline (no insertion).
+    pub fn earliest_start_append(&self, v: NodeId, ready: f64) -> f64 {
+        match self.timelines[v.index()].last() {
+            Some(slot) => slot.finish.max(ready),
+            None => ready,
+        }
+    }
+
+    /// Earliest start on `v` at or after `ready`, allowed to fill an idle gap
+    /// between already-placed tasks (HEFT's insertion policy).
+    pub fn earliest_start_insertion(&self, v: NodeId, ready: f64, duration: f64) -> f64 {
+        let slots = &self.timelines[v.index()];
+        if duration.is_infinite() {
+            // only the tail can host a never-ending task
+            return self.earliest_start_append(v, ready);
+        }
+        let mut candidate = ready;
+        for s in slots {
+            if candidate + duration <= s.start + crate::schedule::TIME_EPS * s.start.abs().max(1.0)
+            {
+                return candidate;
+            }
+            candidate = candidate.max(s.finish);
+        }
+        candidate
+    }
+
+    /// The earliest-finish-time query used by HEFT-family schedulers:
+    /// returns `(start, finish)` for placing `t` on `v` now.
+    pub fn eft(&self, t: TaskId, v: NodeId, insertion: bool) -> (f64, f64) {
+        let duration = self.inst.network.exec_time(self.inst.graph.cost(t), v);
+        let ready = self.data_ready_time(t, v);
+        let start = if insertion {
+            self.earliest_start_insertion(v, ready, duration)
+        } else {
+            self.earliest_start_append(v, ready)
+        };
+        (start, start + duration)
+    }
+
+    /// Places `t` on `v` at `start`; the finish time is derived from the
+    /// related-machines execution time.
+    ///
+    /// # Panics
+    /// Panics (debug) on double placement. The caller is responsible for
+    /// passing a feasible `start` (as returned by [`ScheduleBuilder::eft`]).
+    pub fn place(&mut self, t: TaskId, v: NodeId, start: f64) {
+        debug_assert!(!self.placed[t.index()], "task {t} placed twice");
+        let duration = self.inst.network.exec_time(self.inst.graph.cost(t), v);
+        let finish = start + duration;
+        let timeline = &mut self.timelines[v.index()];
+        let pos = timeline.partition_point(|s| s.start <= start);
+        timeline.insert(pos, Slot { start, finish, task: t });
+        self.finish[t.index()] = finish;
+        self.node_of[t.index()] = v;
+        self.placed[t.index()] = true;
+        self.placed_count += 1;
+    }
+
+    /// Convenience: compute the insertion EFT on `v` and place there.
+    /// Returns the finish time.
+    pub fn place_eft(&mut self, t: TaskId, v: NodeId, insertion: bool) -> f64 {
+        let (start, finish) = self.eft(t, v, insertion);
+        self.place(t, v, start);
+        finish
+    }
+
+    /// Current makespan over placed tasks.
+    pub fn current_makespan(&self) -> f64 {
+        self.finish
+            .iter()
+            .zip(&self.placed)
+            .filter(|&(_, &p)| p)
+            .map(|(&f, _)| f)
+            .fold(0.0, f64::max)
+    }
+
+    /// Finalizes into a [`Schedule`].
+    ///
+    /// # Panics
+    /// Panics if any task is unplaced — schedulers must place every task.
+    pub fn finish(self) -> Schedule {
+        assert_eq!(
+            self.placed_count,
+            self.inst.graph.task_count(),
+            "scheduler left tasks unplaced"
+        );
+        let assignments: Vec<Assignment> = self
+            .inst
+            .graph
+            .tasks()
+            .map(|t| {
+                let start = self.finish[t.index()]
+                    - self
+                        .inst
+                        .network
+                        .exec_time(self.inst.graph.cost(t), self.node_of[t.index()]);
+                // start = finish - duration is exact for finite values; for an
+                // infinite finish, recover the recorded slot start instead.
+                let start = if start.is_finite() {
+                    start
+                } else {
+                    self.timelines[self.node_of[t.index()].index()]
+                        .iter()
+                        .find(|s| s.task == t)
+                        .map(|s| s.start)
+                        .unwrap_or(0.0)
+                };
+                Assignment {
+                    task: t,
+                    node: self.node_of[t.index()],
+                    start,
+                    finish: self.finish[t.index()],
+                }
+            })
+            .collect();
+        Schedule::from_assignments(self.inst.network.node_count(), assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Network, TaskGraph};
+
+    fn two_node_instance() -> Instance {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 2.0);
+        let b = g.add_task("b", 2.0);
+        let c = g.add_task("c", 2.0);
+        g.add_dependency(a, b, 4.0).unwrap();
+        g.add_dependency(a, c, 4.0).unwrap();
+        Instance::new(Network::complete(&[1.0, 2.0], 2.0), g)
+    }
+
+    #[test]
+    fn data_ready_time_accounts_for_communication() {
+        let inst = two_node_instance();
+        let mut b = ScheduleBuilder::new(&inst);
+        b.place(TaskId(0), NodeId(0), 0.0); // finish 2
+        // same node: no comm
+        assert_eq!(b.data_ready_time(TaskId(1), NodeId(0)), 2.0);
+        // cross node: 4 bytes / strength 2 = 2
+        assert_eq!(b.data_ready_time(TaskId(1), NodeId(1)), 4.0);
+    }
+
+    #[test]
+    fn append_vs_insertion_start() {
+        let inst = two_node_instance();
+        let mut b = ScheduleBuilder::new(&inst);
+        // occupy [5, 7] on node 0, leaving a gap [0, 5)
+        b.place(TaskId(2), NodeId(0), 5.0);
+        assert_eq!(b.earliest_start_append(NodeId(0), 0.0), 7.0);
+        assert_eq!(b.earliest_start_insertion(NodeId(0), 0.0, 2.0), 0.0);
+        // a 6-long task does not fit the gap
+        assert_eq!(b.earliest_start_insertion(NodeId(0), 0.0, 6.0), 7.0);
+        // ready time inside the gap shrinks it
+        assert_eq!(b.earliest_start_insertion(NodeId(0), 4.0, 2.0), 7.0);
+    }
+
+    #[test]
+    fn eft_picks_start_and_finish_consistently() {
+        let inst = two_node_instance();
+        let mut b = ScheduleBuilder::new(&inst);
+        b.place(TaskId(0), NodeId(1), 0.0); // exec 1 on speed-2 node
+        let (s0, f0) = b.eft(TaskId(1), NodeId(1), true);
+        assert_eq!((s0, f0), (1.0, 2.0));
+        let (s1, f1) = b.eft(TaskId(1), NodeId(0), true);
+        // data arrives at 1 + 4/2 = 3, exec 2 on speed-1
+        assert_eq!((s1, f1), (3.0, 5.0));
+    }
+
+    #[test]
+    fn finish_produces_verifiable_schedule() {
+        let inst = two_node_instance();
+        let mut b = ScheduleBuilder::new(&inst);
+        let (s, _) = b.eft(TaskId(0), NodeId(1), true);
+        b.place(TaskId(0), NodeId(1), s);
+        let (s, _) = b.eft(TaskId(1), NodeId(1), true);
+        b.place(TaskId(1), NodeId(1), s);
+        let (s, _) = b.eft(TaskId(2), NodeId(0), true);
+        b.place(TaskId(2), NodeId(0), s);
+        let sched = b.finish();
+        sched.verify(&inst).unwrap();
+        assert!(sched.makespan() > 0.0);
+    }
+
+    #[test]
+    fn insertion_respects_existing_slots() {
+        let inst = two_node_instance();
+        let mut b = ScheduleBuilder::new(&inst);
+        b.place(TaskId(0), NodeId(0), 0.0); // [0,2]
+        b.place(TaskId(1), NodeId(0), 6.0); // [6,8]
+        // 2-long task fits in [2,6) gap
+        assert_eq!(b.earliest_start_insertion(NodeId(0), 0.0, 2.0), 2.0);
+        // 4-long task fits exactly
+        assert_eq!(b.earliest_start_insertion(NodeId(0), 0.0, 4.0), 2.0);
+        // 4.5-long doesn't
+        assert_eq!(b.earliest_start_insertion(NodeId(0), 0.0, 4.5), 8.0);
+    }
+
+    #[test]
+    fn is_ready_tracks_predecessors() {
+        let inst = two_node_instance();
+        let mut b = ScheduleBuilder::new(&inst);
+        assert!(b.is_ready(TaskId(0)));
+        assert!(!b.is_ready(TaskId(1)));
+        b.place(TaskId(0), NodeId(0), 0.0);
+        assert!(b.is_ready(TaskId(1)));
+        assert!(b.is_ready(TaskId(2)));
+    }
+
+    #[test]
+    fn current_makespan_tracks_placed_tasks() {
+        let inst = two_node_instance();
+        let mut b = ScheduleBuilder::new(&inst);
+        assert_eq!(b.current_makespan(), 0.0);
+        b.place(TaskId(0), NodeId(0), 0.0);
+        assert_eq!(b.current_makespan(), 2.0);
+        b.place(TaskId(1), NodeId(1), 4.0);
+        assert_eq!(b.current_makespan(), 5.0);
+    }
+
+    #[test]
+    fn infinite_duration_task_appends() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", 1.0);
+        let inst = Instance::new(Network::complete(&[0.0], 1.0), g);
+        let mut b = ScheduleBuilder::new(&inst);
+        let (s, f) = b.eft(TaskId(0), NodeId(0), true);
+        assert_eq!(s, 0.0);
+        assert!(f.is_infinite());
+        b.place(TaskId(0), NodeId(0), s);
+        let sched = b.finish();
+        sched.verify(&inst).unwrap();
+    }
+}

@@ -1,0 +1,121 @@
+//! Random sampling helpers used by the dataset generators and PISA.
+//!
+//! The paper's generators draw weights from *clipped gaussian* distributions
+//! (sample a normal, clamp into `[min, max]`). `rand` 0.8 ships no normal
+//! distribution without the extra `rand_distr` crate, so we implement the
+//! Box–Muller transform directly — it is a dozen lines and keeps the
+//! dependency set to the pre-approved list.
+
+use rand::Rng;
+
+/// Draws a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] to keep ln(u1) finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws `N(mean, std)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Draws the paper's clipped gaussian: `clamp(N(mean, std), min, max)`.
+///
+/// # Panics
+/// Panics (debug) if `min > max` or `std < 0`.
+pub fn clipped_gaussian<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std: f64,
+    min: f64,
+    max: f64,
+) -> f64 {
+    debug_assert!(min <= max, "empty clip range");
+    debug_assert!(std >= 0.0, "negative std");
+    normal(rng, mean, std).clamp(min, max)
+}
+
+/// The paper's default weight distribution for random graph datasets:
+/// mean 1, std 1/3, clipped to `[0, 2]`.
+pub fn unit_weight<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    clipped_gaussian(rng, 1.0, 1.0 / 3.0, 0.0, 2.0)
+}
+
+/// Uniform draw from the inclusive integer range `[lo, hi]`.
+pub fn uniform_usize<R: Rng + ?Sized>(rng: &mut R, lo: usize, hi: usize) -> usize {
+    rng.gen_range(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_has_roughly_unit_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn clipped_gaussian_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = clipped_gaussian(&mut rng, 1.0, 10.0, 0.25, 1.75);
+            assert!((0.25..=1.75).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_weight_matches_paper_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| unit_weight(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| (0.0..=2.0).contains(&x)));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        // clipping at +-3 sigma barely moves the mean
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_usize_is_inclusive() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            let x = uniform_usize(&mut rng, 2, 5);
+            assert!((2..=5).contains(&x));
+            seen[x - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of [2,5] should appear");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_a_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(11);
+            (0..16).map(|_| unit_weight(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(11);
+            (0..16).map(|_| unit_weight(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,113 @@
+//! ASCII Gantt-chart rendering of schedules, in the style of the paper's
+//! Fig. 1c / Fig. 3 panels. Useful in examples and experiment logs.
+
+use crate::{Instance, Schedule};
+
+/// Renders `sched` as a fixed-width text Gantt chart.
+///
+/// Each node gets one row; time is scaled so the makespan spans `width`
+/// character cells. Tasks are labelled by their graph name (truncated to the
+/// cell width). Infinite makespans are rendered as a note instead of a chart.
+pub fn render(inst: &Instance, sched: &Schedule, width: usize) -> String {
+    let makespan = sched.makespan();
+    if !makespan.is_finite() {
+        return "<schedule with infinite makespan>\n".to_string();
+    }
+    if makespan <= 0.0 {
+        return "<empty schedule>\n".to_string();
+    }
+    let width = width.max(20);
+    let scale = width as f64 / makespan;
+    let mut out = String::new();
+    for v in inst.network.nodes() {
+        let mut row = vec![b'.'; width];
+        for &t in sched.node_tasks(v) {
+            let a = sched.assignment(t);
+            let s = ((a.start * scale).floor() as usize).min(width - 1);
+            let e = ((a.finish * scale).ceil() as usize).clamp(s + 1, width);
+            for c in &mut row[s..e] {
+                *c = b'#';
+            }
+            let label = inst.graph.name(t).as_bytes();
+            let cell = e - s;
+            for (i, &ch) in label.iter().take(cell).enumerate() {
+                row[s + i] = ch;
+            }
+        }
+        out.push_str(&format!("{:>4} |", format!("v{}", v.0)));
+        out.push_str(std::str::from_utf8(&row).expect("ascii row"));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>5}0{}{:.3}\n",
+        "", " ".repeat(width.saturating_sub(6)), makespan
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assignment, Network, NodeId, TaskGraph, TaskId};
+
+    fn simple() -> (Instance, Schedule) {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 1.0);
+        g.add_dependency(a, b, 0.0).unwrap();
+        let inst = Instance::new(Network::complete(&[1.0, 1.0], 1.0), g);
+        let sched = Schedule::from_assignments(
+            2,
+            vec![
+                Assignment { task: TaskId(0), node: NodeId(0), start: 0.0, finish: 1.0 },
+                Assignment { task: TaskId(1), node: NodeId(1), start: 1.0, finish: 2.0 },
+            ],
+        );
+        (inst, sched)
+    }
+
+    #[test]
+    fn renders_one_row_per_node() {
+        let (inst, sched) = simple();
+        let s = render(&inst, &sched, 40);
+        let rows: Vec<&str> = s.lines().collect();
+        assert_eq!(rows.len(), 3); // 2 nodes + axis
+        assert!(rows[0].contains('a'));
+        assert!(rows[1].contains('b'));
+        assert!(rows[2].contains("2.000"));
+    }
+
+    #[test]
+    fn task_positions_reflect_times() {
+        let (inst, sched) = simple();
+        let s = render(&inst, &sched, 40);
+        let rows: Vec<&str> = s.lines().collect();
+        let a_col = rows[0].find('a').unwrap();
+        let b_col = rows[1].find('b').unwrap();
+        assert!(a_col < b_col, "a starts before b");
+    }
+
+    #[test]
+    fn infinite_makespan_renders_note() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", 1.0);
+        let inst = Instance::new(Network::complete(&[0.0], 1.0), g);
+        let sched = Schedule::from_assignments(
+            1,
+            vec![Assignment {
+                task: TaskId(0),
+                node: NodeId(0),
+                start: 0.0,
+                finish: f64::INFINITY,
+            }],
+        );
+        assert!(render(&inst, &sched, 40).contains("infinite"));
+    }
+
+    #[test]
+    fn empty_graph_renders_note() {
+        let inst = Instance::new(Network::complete(&[1.0], 1.0), TaskGraph::new());
+        let sched = Schedule::from_assignments(1, vec![]);
+        assert!(render(&inst, &sched, 40).contains("empty"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # saga-core
+//!
+//! The related-machines task-graph scheduling model from *PISA: An
+//! Adversarial Approach to Comparing Task Graph Scheduling Algorithms*
+//! (Coleman & Krishnamachari): task graphs, complete networks, schedules and
+//! their Section-II validity checker, an insertion-capable schedule builder,
+//! HEFT-style ranking utilities, and the clipped-gaussian samplers the
+//! paper's generators rely on.
+//!
+//! Everything downstream (`saga-schedulers`, `saga-datasets`, `saga-pisa`)
+//! builds on this crate; it has no dependencies beyond `rand` and `serde`.
+
+#![warn(missing_docs)]
+
+mod builder;
+pub mod dist;
+mod error;
+pub mod gantt;
+mod graph;
+mod ids;
+mod instance;
+pub mod metrics;
+mod network;
+pub mod ranking;
+mod schedule;
+pub mod stochastic;
+
+pub use builder::ScheduleBuilder;
+pub use error::{GraphError, ScheduleError};
+pub use graph::{DepEdge, TaskGraph};
+pub use ids::{NodeId, TaskId};
+pub use instance::Instance;
+pub use network::Network;
+pub use schedule::{Assignment, Schedule, TIME_EPS};

@@ -1,0 +1,222 @@
+//! Schedule quality metrics beyond makespan — the paper's future-work list
+//! names throughput, energy consumption, and (monetary) cost. These are
+//! plain functions over a (validated) [`Schedule`] so any of them can serve
+//! as an adversarial objective (see `saga-pisa`'s generic annealer).
+
+use crate::{Instance, Schedule};
+
+/// A linear power model: each node draws `active` watts while executing and
+/// `idle` watts otherwise (until the schedule's makespan); moving one data
+/// unit across a finite link costs `comm_energy_per_unit` joules at both
+/// endpoints combined.
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    /// Active power per node, indexed by node id.
+    pub active: Vec<f64>,
+    /// Idle power per node, indexed by node id.
+    pub idle: Vec<f64>,
+    /// Energy per transferred data unit over finite links.
+    pub comm_energy_per_unit: f64,
+}
+
+impl EnergyModel {
+    /// A model where active power scales with node speed (faster nodes burn
+    /// more), idle power is a fixed fraction of active, and communication
+    /// costs `comm` joules per data unit.
+    pub fn speed_proportional(inst: &Instance, idle_fraction: f64, comm: f64) -> Self {
+        let active: Vec<f64> = inst.network.nodes().map(|v| inst.network.speed(v)).collect();
+        let idle = active.iter().map(|a| a * idle_fraction).collect();
+        EnergyModel {
+            active,
+            idle,
+            comm_energy_per_unit: comm,
+        }
+    }
+}
+
+/// Total energy of a schedule under `model`: active energy over busy
+/// intervals, idle energy over the rest of `[0, makespan]`, plus
+/// communication energy for every dependency crossing nodes.
+///
+/// Returns infinity if the makespan is infinite.
+pub fn energy(inst: &Instance, sched: &Schedule, model: &EnergyModel) -> f64 {
+    let makespan = sched.makespan();
+    if !makespan.is_finite() {
+        return f64::INFINITY;
+    }
+    let mut total = 0.0;
+    for v in inst.network.nodes() {
+        let busy: f64 = sched
+            .node_tasks(v)
+            .iter()
+            .map(|&t| {
+                let a = sched.assignment(t);
+                a.finish - a.start
+            })
+            .sum();
+        total += busy * model.active[v.index()] + (makespan - busy) * model.idle[v.index()];
+    }
+    for (from, to, bytes) in inst.graph.dependencies() {
+        let fa = sched.assignment(from);
+        let ta = sched.assignment(to);
+        if fa.node != ta.node && bytes > 0.0 {
+            total += bytes * model.comm_energy_per_unit;
+        }
+    }
+    total
+}
+
+/// Throughput: tasks completed per unit time (`|T| / makespan`); zero for an
+/// infinite makespan.
+pub fn throughput(inst: &Instance, sched: &Schedule) -> f64 {
+    let m = sched.makespan();
+    if !m.is_finite() || m == 0.0 {
+        if m == 0.0 && inst.graph.task_count() > 0 {
+            return f64::INFINITY;
+        }
+        return 0.0;
+    }
+    inst.graph.task_count() as f64 / m
+}
+
+/// Monetary cost under per-node hourly prices: each node is billed for its
+/// *occupied span* (first start to last finish), the cloud billing model for
+/// reserved workers. Nodes never used cost nothing.
+pub fn rental_cost(inst: &Instance, sched: &Schedule, price: &[f64]) -> f64 {
+    assert_eq!(price.len(), inst.network.node_count());
+    let mut total = 0.0;
+    for v in inst.network.nodes() {
+        let tasks = sched.node_tasks(v);
+        if tasks.is_empty() {
+            continue;
+        }
+        let first = sched.assignment(tasks[0]).start;
+        let last = sched.assignment(tasks[tasks.len() - 1]).finish;
+        total += (last - first) * price[v.index()];
+    }
+    total
+}
+
+/// Node utilization: busy time over `|V| * makespan` (0 when empty or
+/// unbounded). A diagnostic for over-parallelization analyses.
+pub fn utilization(inst: &Instance, sched: &Schedule) -> f64 {
+    let m = sched.makespan();
+    if !m.is_finite() || m == 0.0 || inst.network.node_count() == 0 {
+        return 0.0;
+    }
+    let busy: f64 = inst
+        .network
+        .nodes()
+        .flat_map(|v| sched.node_tasks(v).iter())
+        .map(|&t| {
+            let a = sched.assignment(t);
+            a.finish - a.start
+        })
+        .sum();
+    busy / (m * inst.network.node_count() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assignment, Network, NodeId, TaskGraph, TaskId};
+
+    fn two_node_case() -> (Instance, Schedule) {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 2.0);
+        let b = g.add_task("b", 2.0);
+        g.add_dependency(a, b, 4.0).unwrap();
+        let inst = Instance::new(Network::complete(&[1.0, 1.0], 2.0), g);
+        // a on v0 [0,2]; b on v1 after 2s comm: [4,6]
+        let sched = Schedule::from_assignments(
+            2,
+            vec![
+                Assignment { task: TaskId(0), node: NodeId(0), start: 0.0, finish: 2.0 },
+                Assignment { task: TaskId(1), node: NodeId(1), start: 4.0, finish: 6.0 },
+            ],
+        );
+        sched.verify(&inst).unwrap();
+        (inst, sched)
+    }
+
+    #[test]
+    fn energy_accounts_active_idle_and_comm() {
+        let (inst, sched) = two_node_case();
+        let model = EnergyModel {
+            active: vec![10.0, 10.0],
+            idle: vec![1.0, 1.0],
+            comm_energy_per_unit: 0.5,
+        };
+        // busy 2s each at 10W = 40; idle 4s each at 1W = 8; comm 4 units * 0.5 = 2
+        assert!((energy(&inst, &sched, &model) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn colocated_dependency_costs_no_comm_energy() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 1.0);
+        g.add_dependency(a, b, 100.0).unwrap();
+        let inst = Instance::new(Network::complete(&[1.0], 1.0), g);
+        let sched = Schedule::from_assignments(
+            1,
+            vec![
+                Assignment { task: a, node: NodeId(0), start: 0.0, finish: 1.0 },
+                Assignment { task: b, node: NodeId(0), start: 1.0, finish: 2.0 },
+            ],
+        );
+        let model = EnergyModel {
+            active: vec![1.0],
+            idle: vec![0.0],
+            comm_energy_per_unit: 99.0,
+        };
+        assert!((energy(&inst, &sched, &model) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_and_utilization() {
+        let (inst, sched) = two_node_case();
+        assert!((throughput(&inst, &sched) - 2.0 / 6.0).abs() < 1e-12);
+        // busy 4 over 2 nodes * 6 = 12
+        assert!((utilization(&inst, &sched) - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rental_cost_bills_occupied_spans() {
+        let (inst, sched) = two_node_case();
+        // v0 span [0,2] * 3 + v1 span [4,6] * 5 = 6 + 10
+        assert!((rental_cost(&inst, &sched, &[3.0, 5.0]) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_proportional_model_shapes() {
+        let (inst, _) = two_node_case();
+        let m = EnergyModel::speed_proportional(&inst, 0.2, 1.0);
+        assert_eq!(m.active, vec![1.0, 1.0]);
+        assert_eq!(m.idle, vec![0.2, 0.2]);
+    }
+
+    #[test]
+    fn infinite_makespan_propagates() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", 1.0);
+        let inst = Instance::new(Network::complete(&[0.0], 1.0), g);
+        let sched = Schedule::from_assignments(
+            1,
+            vec![Assignment {
+                task: TaskId(0),
+                node: NodeId(0),
+                start: 0.0,
+                finish: f64::INFINITY,
+            }],
+        );
+        let model = EnergyModel {
+            active: vec![1.0],
+            idle: vec![0.0],
+            comm_energy_per_unit: 0.0,
+        };
+        assert!(energy(&inst, &sched, &model).is_infinite());
+        assert_eq!(throughput(&inst, &sched), 0.0);
+        assert_eq!(utilization(&inst, &sched), 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Communication-to-computation ratio (CCR) control for the Section VII
+//! experiments.
+//!
+//! The paper's scientific-workflow traces contain runtimes and I/O sizes but
+//! no inter-node communication rates, so it sets communication to be
+//! *homogeneous* at a strength that realizes a target average CCR
+//! (`average data size / communication strength` over `average execution
+//! time`), for CCR ∈ {1/5, 1/2, 1, 2, 5}.
+
+use saga_core::{Instance, Network, NodeId};
+
+/// The five CCR operating points of Section VII.
+pub const PAPER_CCRS: [f64; 5] = [0.2, 0.5, 1.0, 2.0, 5.0];
+
+/// Replaces the instance's links with a homogeneous strength chosen so that
+/// [`Instance::ccr`] equals `target`. Speeds are preserved. Returns the
+/// chosen strength.
+///
+/// # Panics
+/// Panics if `target <= 0`, or if the instance has no dependencies or no
+/// average execution time (CCR undefined).
+pub fn set_homogeneous_ccr(inst: &mut Instance, target: f64) -> f64 {
+    assert!(target > 0.0, "CCR target must be positive");
+    let avg_exec = inst.graph.mean_task_cost() * inst.network.mean_inverse_speed();
+    let mean_dep = inst.graph.mean_dependency_cost();
+    assert!(
+        avg_exec > 0.0 && mean_dep > 0.0,
+        "CCR undefined without compute and communication"
+    );
+    // avg_comm = mean_dep / strength ; ccr = avg_comm / avg_exec
+    let strength = mean_dep / (target * avg_exec);
+    let n = inst.network.node_count();
+    let mut net = Network::complete(inst.network.speeds(), strength);
+    // keep speeds exactly; links homogenized
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            net.set_link(NodeId(u), NodeId(v), strength);
+        }
+    }
+    inst.network = net;
+    strength
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflows;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn achieves_each_paper_ccr() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for target in PAPER_CCRS {
+            let mut inst = workflows::sample_blast(&mut rng);
+            set_homogeneous_ccr(&mut inst, target);
+            assert!(
+                (inst.ccr() - target).abs() < 1e-9,
+                "ccr {} != {target}",
+                inst.ccr()
+            );
+        }
+    }
+
+    #[test]
+    fn preserves_speeds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut inst = workflows::sample_montage(&mut rng);
+        let speeds = inst.network.speeds().to_vec();
+        set_homogeneous_ccr(&mut inst, 1.0);
+        assert_eq!(inst.network.speeds(), &speeds[..]);
+    }
+
+    #[test]
+    fn links_are_homogeneous_after() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut inst = workflows::sample_soykb(&mut rng);
+        let s = set_homogeneous_ccr(&mut inst, 2.0);
+        for u in inst.network.nodes() {
+            for v in inst.network.nodes() {
+                if u != v {
+                    assert_eq!(inst.network.link(u, v), s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_target() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut inst = workflows::sample_blast(&mut rng);
+        set_homogeneous_ccr(&mut inst, 0.0);
+    }
+}

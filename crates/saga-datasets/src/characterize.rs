@@ -1,0 +1,183 @@
+//! Structural characterization of problem instances.
+//!
+//! The paper's core critique is that "it is difficult to tell just what
+//! broader family of problem instances a dataset is really representative
+//! of". These descriptors make that discussion quantitative: depth, width,
+//! parallelism, communication intensity, and network heterogeneity, per
+//! instance and aggregated per dataset.
+
+use saga_core::{ranking, Instance};
+
+/// Structural descriptors of one problem instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceProfile {
+    /// Number of tasks `|T|`.
+    pub tasks: usize,
+    /// Number of dependencies `|D|`.
+    pub dependencies: usize,
+    /// Number of compute nodes `|V|`.
+    pub nodes: usize,
+    /// Longest path length in edges (0 for independent tasks).
+    pub depth: usize,
+    /// Largest antichain approximated by the widest precedence level.
+    pub width: usize,
+    /// Average parallelism: total average work over critical path length
+    /// (the classic `T1 / T_inf` measure on average costs).
+    pub parallelism: f64,
+    /// Communication-to-computation ratio of the instance.
+    pub ccr: f64,
+    /// Coefficient of variation of node speeds (0 = homogeneous).
+    pub speed_cv: f64,
+    /// Fraction of sources among tasks.
+    pub source_fraction: f64,
+    /// Fraction of sinks among tasks.
+    pub sink_fraction: f64,
+}
+
+/// Computes the profile of an instance.
+pub fn profile(inst: &Instance) -> InstanceProfile {
+    let g = &inst.graph;
+    let n = g.task_count();
+    // levels (longest-path depth per task)
+    let mut level = vec![0usize; n];
+    for &t in &g.topological_order() {
+        let lt = level[t.index()];
+        for e in g.successors(t) {
+            let l = &mut level[e.task.index()];
+            *l = (*l).max(lt + 1);
+        }
+    }
+    let depth = level.iter().copied().max().unwrap_or(0);
+    let mut width = 0usize;
+    for d in 0..=depth {
+        width = width.max(level.iter().filter(|&&l| l == d).count());
+    }
+
+    let cp = ranking::critical_path(inst);
+    let avg = ranking::AverageCosts::new(inst);
+    let total_work: f64 = avg.exec.iter().sum();
+    let parallelism = if cp.length > 0.0 && cp.length.is_finite() {
+        total_work / cp.length
+    } else {
+        1.0
+    };
+
+    let speeds = inst.network.speeds();
+    let mean_speed = speeds.iter().sum::<f64>() / speeds.len().max(1) as f64;
+    let speed_cv = if mean_speed > 0.0 {
+        let var = speeds
+            .iter()
+            .map(|s| (s - mean_speed) * (s - mean_speed))
+            .sum::<f64>()
+            / speeds.len() as f64;
+        var.sqrt() / mean_speed
+    } else {
+        0.0
+    };
+
+    InstanceProfile {
+        tasks: n,
+        dependencies: g.dependency_count(),
+        nodes: inst.network.node_count(),
+        depth,
+        width,
+        parallelism,
+        ccr: inst.ccr(),
+        speed_cv,
+        source_fraction: g.sources().len() as f64 / n.max(1) as f64,
+        sink_fraction: g.sinks().len() as f64 / n.max(1) as f64,
+    }
+}
+
+/// Mean profile over a set of instances (field-wise arithmetic mean;
+/// non-finite CCRs are skipped and counted).
+pub fn mean_profile(instances: &[Instance]) -> InstanceProfile {
+    assert!(!instances.is_empty());
+    let ps: Vec<InstanceProfile> = instances.iter().map(profile).collect();
+    let n = ps.len() as f64;
+    let finite_ccrs: Vec<f64> = ps.iter().map(|p| p.ccr).filter(|c| c.is_finite()).collect();
+    InstanceProfile {
+        tasks: (ps.iter().map(|p| p.tasks).sum::<usize>() as f64 / n).round() as usize,
+        dependencies: (ps.iter().map(|p| p.dependencies).sum::<usize>() as f64 / n).round()
+            as usize,
+        nodes: (ps.iter().map(|p| p.nodes).sum::<usize>() as f64 / n).round() as usize,
+        depth: (ps.iter().map(|p| p.depth).sum::<usize>() as f64 / n).round() as usize,
+        width: (ps.iter().map(|p| p.width).sum::<usize>() as f64 / n).round() as usize,
+        parallelism: ps.iter().map(|p| p.parallelism).sum::<f64>() / n,
+        ccr: if finite_ccrs.is_empty() {
+            0.0
+        } else {
+            finite_ccrs.iter().sum::<f64>() / finite_ccrs.len() as f64
+        },
+        speed_cv: ps.iter().map(|p| p.speed_cv).sum::<f64>() / n,
+        source_fraction: ps.iter().map(|p| p.source_fraction).sum::<f64>() / n,
+        sink_fraction: ps.iter().map(|p| p.sink_fraction).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use saga_core::{Network, TaskGraph};
+
+    #[test]
+    fn chain_profile() {
+        let g = TaskGraph::chain(&[1.0, 1.0, 1.0, 1.0], &[1.0, 1.0, 1.0]);
+        let inst = Instance::new(Network::complete(&[1.0, 1.0], 1.0), g);
+        let p = profile(&inst);
+        assert_eq!(p.tasks, 4);
+        assert_eq!(p.depth, 3);
+        assert_eq!(p.width, 1);
+        assert!((p.parallelism - 4.0 / 7.0).abs() < 1e-9); // work 4, cp 4+3 comm
+        assert_eq!(p.source_fraction, 0.25);
+        assert_eq!(p.sink_fraction, 0.25);
+        assert_eq!(p.speed_cv, 0.0);
+    }
+
+    #[test]
+    fn independent_tasks_profile() {
+        let mut g = TaskGraph::new();
+        for i in 0..6 {
+            g.add_task(format!("t{i}"), 1.0);
+        }
+        let inst = Instance::new(Network::complete(&[1.0, 2.0], 1.0), g);
+        let p = profile(&inst);
+        assert_eq!(p.depth, 0);
+        assert_eq!(p.width, 6);
+        assert!(p.parallelism > 5.0, "parallelism {}", p.parallelism);
+        assert!(p.speed_cv > 0.0);
+    }
+
+    #[test]
+    fn seismology_is_wide_and_shallow() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let inst = crate::workflows::sample_seismology(&mut rng);
+        let p = profile(&inst);
+        assert_eq!(p.depth, 1);
+        assert!(p.width >= 10);
+        assert!(p.sink_fraction < 0.2);
+    }
+
+    #[test]
+    fn montage_is_deep() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = crate::workflows::sample_montage(&mut rng);
+        let p = profile(&inst);
+        assert!(p.depth >= 7, "montage depth {}", p.depth);
+    }
+
+    #[test]
+    fn mean_profile_averages() {
+        let g1 = TaskGraph::chain(&[1.0, 1.0], &[1.0]);
+        let g2 = TaskGraph::chain(&[1.0, 1.0, 1.0, 1.0], &[1.0, 1.0, 1.0]);
+        let n = Network::complete(&[1.0], 1.0);
+        let m = mean_profile(&[
+            Instance::new(n.clone(), g1),
+            Instance::new(n, g2),
+        ]);
+        assert_eq!(m.tasks, 3);
+        assert_eq!(m.depth, 2);
+    }
+}

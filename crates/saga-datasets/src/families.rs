@@ -1,0 +1,149 @@
+//! The Section VI-B case-study instance families: structured distributions
+//! of problem instances generalizing the adversarial patterns PISA found
+//! between HEFT and CPoP (the paper's Figs. 7 and 8).
+
+use rand::rngs::StdRng;
+use saga_core::dist::clipped_gaussian;
+use saga_core::{Instance, Network, NodeId, TaskGraph};
+
+/// Fig. 7: a fork-join where one branch has a much higher *initial*
+/// communication cost than the other — the family on which **HEFT performs
+/// poorly** against CPoP.
+///
+/// Tasks `A` and `D` cost 1; `B` and `C` cost `N(10, 10/3)` (min 0). The
+/// dependencies `A->B`, `B->D` and `C->D` cost 1 while `A->C` costs
+/// `N(100, 100/3)` (min 0). The network is completely homogeneous (two
+/// unit-speed nodes, unit links), as the paper uses "for simplicity".
+pub fn heft_weak_instance(rng: &mut StdRng) -> Instance {
+    let mut g = TaskGraph::new();
+    let a = g.add_task("A", 1.0);
+    let b = g.add_task("B", clipped_gaussian(rng, 10.0, 10.0 / 3.0, 0.0, f64::MAX));
+    let c = g.add_task("C", clipped_gaussian(rng, 10.0, 10.0 / 3.0, 0.0, f64::MAX));
+    let d = g.add_task("D", 1.0);
+    g.add_dependency(a, b, 1.0).unwrap();
+    g.add_dependency(a, c, clipped_gaussian(rng, 100.0, 100.0 / 3.0, 0.0, f64::MAX))
+        .unwrap();
+    g.add_dependency(b, d, 1.0).unwrap();
+    g.add_dependency(c, d, 1.0).unwrap();
+    Instance::new(Network::complete(&[1.0, 1.0], 1.0), g)
+}
+
+/// Fig. 8: a wide fork-join whose *join* communication is ten times more
+/// expensive than its fork communication, on a network whose two fastest
+/// nodes share a weak link — the family on which **CPoP performs poorly**
+/// against HEFT (it pins the critical path to the fastest node and then has
+/// to haul the join data over the weak link).
+///
+/// Tasks `A`, `B..J` (9 inner tasks) and `K`: costs `N(1, 1/3)`. Fork
+/// dependencies `A->inner` cost `N(1, 1/3)`; join dependencies `inner->K`
+/// cost `N(10, 10/3)`. Network: 4 nodes; node 0 has speed 3, the rest
+/// `N(1, 1/3)`; the link between node 0 and the second-fastest node is
+/// `N(1, 1/3)` while every other link is `N(10, 5/3)`.
+pub fn cpop_weak_instance(rng: &mut StdRng) -> Instance {
+    let g1 = |rng: &mut StdRng| clipped_gaussian(rng, 1.0, 1.0 / 3.0, 0.0, f64::MAX);
+    let g10 = |rng: &mut StdRng| clipped_gaussian(rng, 10.0, 10.0 / 3.0, 0.0, f64::MAX);
+
+    let mut g = TaskGraph::new();
+    let a = g.add_task("A", g1(rng));
+    let k_cost = g1(rng);
+    let mut inner = Vec::with_capacity(9);
+    for i in 0..9 {
+        let name = (b'B' + i as u8) as char;
+        inner.push(g.add_task(name.to_string(), g1(rng)));
+    }
+    let k = g.add_task("K", k_cost);
+    for &t in &inner {
+        g.add_dependency(a, t, g1(rng)).unwrap();
+        g.add_dependency(t, k, g10(rng)).unwrap();
+    }
+
+    let mut speeds = vec![3.0];
+    speeds.extend((0..3).map(|_| g1(rng)));
+    let mut net = Network::complete(&speeds, 1.0);
+    // second-fastest node among the slow ones
+    let mut second = NodeId(1);
+    for v in 2..4u32 {
+        if net.speed(NodeId(v)) > net.speed(second) {
+            second = NodeId(v);
+        }
+    }
+    for u in 0..4u32 {
+        for v in (u + 1)..4u32 {
+            let (u, v) = (NodeId(u), NodeId(v));
+            let strength = if (u == NodeId(0) && v == second) || (v == NodeId(0) && u == second) {
+                g1(rng)
+            } else {
+                clipped_gaussian(rng, 10.0, 5.0 / 3.0, 0.0, f64::MAX)
+            };
+            net.set_link(u, v, strength);
+        }
+    }
+    Instance::new(net, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn heft_weak_family_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let inst = heft_weak_instance(&mut rng);
+        assert_eq!(inst.graph.task_count(), 4);
+        assert_eq!(inst.graph.dependency_count(), 4);
+        assert_eq!(inst.network.node_count(), 2);
+        // the heavy edge is A->C
+        let heavy = inst
+            .graph
+            .dependency_cost(saga_core::TaskId(0), saga_core::TaskId(2))
+            .unwrap();
+        assert!(heavy > 10.0, "A->C should usually be heavy, got {heavy}");
+    }
+
+    #[test]
+    fn cpop_weak_family_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = cpop_weak_instance(&mut rng);
+        assert_eq!(inst.graph.task_count(), 11);
+        assert_eq!(inst.graph.dependency_count(), 18);
+        assert_eq!(inst.network.node_count(), 4);
+        assert_eq!(inst.network.fastest_node(), NodeId(0));
+        assert_eq!(inst.network.speed(NodeId(0)), 3.0);
+    }
+
+    #[test]
+    fn heft_weak_family_statistically_favours_cpop() {
+        // the paper's Fig. 7b: over many draws HEFT's mean makespan exceeds
+        // CPoP's on this family
+        use saga_schedulers::Scheduler;
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mut heft_total, mut cpop_total) = (0.0, 0.0);
+        for _ in 0..200 {
+            let inst = heft_weak_instance(&mut rng);
+            heft_total += saga_schedulers::Heft.schedule(&inst).makespan();
+            cpop_total += saga_schedulers::Cpop.schedule(&inst).makespan();
+        }
+        assert!(
+            heft_total > cpop_total * 1.1,
+            "HEFT {heft_total} should be clearly worse than CPoP {cpop_total} on Fig. 7's family"
+        );
+    }
+
+    #[test]
+    fn cpop_weak_family_statistically_favours_heft() {
+        // the paper's Fig. 8b mirror image
+        use saga_schedulers::Scheduler;
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut heft_total, mut cpop_total) = (0.0, 0.0);
+        for _ in 0..200 {
+            let inst = cpop_weak_instance(&mut rng);
+            heft_total += saga_schedulers::Heft.schedule(&inst).makespan();
+            cpop_total += saga_schedulers::Cpop.schedule(&inst).makespan();
+        }
+        assert!(
+            cpop_total > heft_total * 1.1,
+            "CPoP {cpop_total} should be clearly worse than HEFT {heft_total} on Fig. 8's family"
+        );
+    }
+}

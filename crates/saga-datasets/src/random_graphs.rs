@@ -1,0 +1,189 @@
+//! The random graph families of Table II: `in_trees`, `out_trees`, and
+//! `chains`, following the methodology the paper cites from Cordeiro et al.
+//!
+//! * in/out-trees: 2–4 levels (uniform), branching factor 2 or 3 (uniform),
+//!   node/edge weights from the clipped gaussian `N(1, 1/3)` on `[0, 2]`.
+//! * parallel chains: 2–5 chains (uniform) of length 2–5 (uniform) between a
+//!   shared source and sink (the fork-join shape of the paper's Fig. 3),
+//!   same weight distribution.
+//! * networks: complete graphs of 3–5 nodes (uniform), same weight
+//!   distribution for speeds and link strengths.
+
+use rand::rngs::StdRng;
+use saga_core::dist::{uniform_usize, unit_weight};
+use saga_core::{Instance, Network, NodeId, TaskGraph, TaskId};
+
+/// Samples the paper's randomly weighted complete network: 3–5 nodes,
+/// clipped-gaussian speeds and link strengths.
+pub fn sample_network(rng: &mut StdRng) -> Network {
+    let n = uniform_usize(rng, 3, 5);
+    let speeds: Vec<f64> = (0..n).map(|_| unit_weight(rng)).collect();
+    let mut net = Network::complete(&speeds, 1.0);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            net.set_link(NodeId(u as u32), NodeId(v as u32), unit_weight(rng));
+        }
+    }
+    net
+}
+
+/// Builds a complete tree task graph. `inward = true` points edges from the
+/// leaves toward the root (an in-tree, root = sink); `false` gives an
+/// out-tree (root = source).
+pub fn sample_tree(rng: &mut StdRng, inward: bool) -> TaskGraph {
+    let levels = uniform_usize(rng, 2, 4);
+    let branching = uniform_usize(rng, 2, 3);
+    let mut g = TaskGraph::new();
+    let root = g.add_task("n0", unit_weight(rng));
+    let mut frontier = vec![root];
+    for _ in 1..levels {
+        let mut next = Vec::with_capacity(frontier.len() * branching);
+        for &parent in &frontier {
+            for _ in 0..branching {
+                let id = g.add_task(format!("n{}", g.task_count()), unit_weight(rng));
+                let w = unit_weight(rng);
+                if inward {
+                    g.add_dependency(id, parent, w).expect("tree edge");
+                } else {
+                    g.add_dependency(parent, id, w).expect("tree edge");
+                }
+                next.push(id);
+            }
+        }
+        frontier = next;
+    }
+    g
+}
+
+/// Builds the parallel-chains task graph: shared source and sink with
+/// `k` interior chains.
+pub fn sample_parallel_chains(rng: &mut StdRng) -> TaskGraph {
+    let k = uniform_usize(rng, 2, 5);
+    let len = uniform_usize(rng, 2, 5);
+    let mut g = TaskGraph::new();
+    let src = g.add_task("src", unit_weight(rng));
+    let sink_cost = unit_weight(rng);
+    let mut chain_tails: Vec<TaskId> = Vec::with_capacity(k);
+    for c in 0..k {
+        let mut prev = src;
+        for i in 0..len {
+            let t = g.add_task(format!("c{c}_{i}"), unit_weight(rng));
+            g.add_dependency(prev, t, unit_weight(rng)).expect("chain edge");
+            prev = t;
+        }
+        chain_tails.push(prev);
+    }
+    let sink = g.add_task("sink", sink_cost);
+    for tail in chain_tails {
+        g.add_dependency(tail, sink, unit_weight(rng)).expect("sink edge");
+    }
+    g
+}
+
+/// Table II `in_trees` row: in-tree graph + random network.
+pub fn sample_in_trees(rng: &mut StdRng) -> Instance {
+    let g = sample_tree(rng, true);
+    Instance::new(sample_network(rng), g)
+}
+
+/// Table II `out_trees` row: out-tree graph + random network.
+pub fn sample_out_trees(rng: &mut StdRng) -> Instance {
+    let g = sample_tree(rng, false);
+    Instance::new(sample_network(rng), g)
+}
+
+/// Table II `chains` row: parallel-chains graph + random network.
+pub fn sample_chains(rng: &mut StdRng) -> Instance {
+    let g = sample_parallel_chains(rng);
+    Instance::new(sample_network(rng), g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn network_size_and_weights_in_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let n = sample_network(&mut rng);
+            assert!((3..=5).contains(&n.node_count()));
+            for v in n.nodes() {
+                assert!((0.0..=2.0).contains(&n.speed(v)));
+            }
+            for u in n.nodes() {
+                for v in n.nodes() {
+                    if u != v {
+                        assert!((0.0..=2.0).contains(&n.link(u, v)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_tree_has_single_sink() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let g = sample_tree(&mut rng, true);
+            assert_eq!(g.sinks(), vec![TaskId(0)], "root must be the only sink");
+            assert!(g.task_count() >= 3); // >= 2 levels, branching >= 2
+        }
+    }
+
+    #[test]
+    fn out_tree_has_single_source() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let g = sample_tree(&mut rng, false);
+            assert_eq!(g.sources(), vec![TaskId(0)], "root must be the only source");
+        }
+    }
+
+    #[test]
+    fn tree_sizes_match_levels_and_branching() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let g = sample_tree(&mut rng, true);
+            // sizes must be one of sum_{i<L} b^i for L in 2..=4, b in {2,3}
+            let valid: Vec<usize> = vec![
+                1 + 2,
+                1 + 3,
+                1 + 2 + 4,
+                1 + 3 + 9,
+                1 + 2 + 4 + 8,
+                1 + 3 + 9 + 27,
+            ];
+            assert!(valid.contains(&g.task_count()), "odd size {}", g.task_count());
+        }
+    }
+
+    #[test]
+    fn parallel_chains_are_fork_join() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let g = sample_parallel_chains(&mut rng);
+            assert_eq!(g.sources().len(), 1);
+            assert_eq!(g.sinks().len(), 1);
+            let k = g.successors(TaskId(0)).len();
+            assert!((2..=5).contains(&k));
+            // total = src + sink + k * len
+            let interior = g.task_count() - 2;
+            assert_eq!(interior % k, 0);
+            assert!((2..=5).contains(&(interior / k)));
+        }
+    }
+
+    #[test]
+    fn instances_have_weights_in_paper_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = sample_chains(&mut rng);
+        for t in inst.graph.tasks() {
+            assert!((0.0..=2.0).contains(&inst.graph.cost(t)));
+        }
+        for (_, _, c) in inst.graph.dependencies() {
+            assert!((0.0..=2.0).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The traditional benchmarking methodology of Section V: run every
+//! scheduler on every instance of a dataset and report makespan ratios
+//! against the best baseline on each instance.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saga_core::Instance;
+use saga_datasets::DatasetGenerator;
+use saga_schedulers::Scheduler;
+
+/// Summary statistics of a scheduler's makespan ratios over a dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct RatioStats {
+    /// Largest ratio (the paper's Fig. 2 cell label).
+    pub max: f64,
+    /// Median ratio.
+    pub median: f64,
+    /// Mean ratio (infinite ratios excluded; count reported separately).
+    pub mean_finite: f64,
+    /// Number of instances with an unbounded ratio.
+    pub unbounded: usize,
+}
+
+/// Per-instance makespan ratios for a set of schedulers: each scheduler's
+/// makespan divided by the minimum makespan any scheduler achieved on that
+/// instance (the paper's benchmarking objective).
+pub fn instance_ratios(schedulers: &[Box<dyn Scheduler>], inst: &Instance) -> Vec<f64> {
+    let ms = crate::makespans(schedulers, inst);
+    let best = ms.iter().copied().fold(f64::INFINITY, f64::min);
+    ms.iter()
+        .map(|&m| saga_pisa::makespan_ratio(m, best))
+        .collect()
+}
+
+/// Benchmarks `schedulers` on `count` fresh instances of `gen`, returning
+/// one [`RatioStats`] per scheduler (in scheduler order).
+pub fn benchmark_dataset(
+    schedulers: &[Box<dyn Scheduler>],
+    gen: &DatasetGenerator,
+    count: usize,
+    seed: u64,
+) -> Vec<RatioStats> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_sched: Vec<Vec<f64>> = vec![Vec::with_capacity(count); schedulers.len()];
+    for _ in 0..count {
+        let inst = gen.sample(&mut rng);
+        for (k, r) in instance_ratios(schedulers, &inst).into_iter().enumerate() {
+            per_sched[k].push(r);
+        }
+    }
+    per_sched.into_iter().map(|rs| summarize(&rs)).collect()
+}
+
+/// Summarizes a ratio sample.
+pub fn summarize(ratios: &[f64]) -> RatioStats {
+    assert!(!ratios.is_empty());
+    let mut sorted: Vec<f64> = ratios.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let max = *sorted.last().unwrap();
+    let median = sorted[sorted.len() / 2];
+    let finite: Vec<f64> = sorted.iter().copied().filter(|r| r.is_finite()).collect();
+    let mean_finite = if finite.is_empty() {
+        f64::INFINITY
+    } else {
+        finite.iter().sum::<f64>() / finite.len() as f64
+    };
+    RatioStats {
+        max,
+        median,
+        mean_finite,
+        unbounded: ratios.len() - finite.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_schedulers::benchmark_schedulers;
+
+    #[test]
+    fn ratios_are_at_least_one_and_someone_achieves_it() {
+        let gen = saga_datasets::by_name("chains").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let scheds = benchmark_schedulers();
+        for _ in 0..5 {
+            let inst = gen.sample(&mut rng);
+            let rs = instance_ratios(&scheds, &inst);
+            assert!(rs.iter().all(|&r| r >= 1.0 - 1e-9));
+            assert!(rs.iter().any(|&r| (r - 1.0).abs() < 1e-9));
+        }
+    }
+
+    #[test]
+    fn summarize_computes_order_statistics() {
+        let s = summarize(&[1.0, 3.0, 2.0, f64::INFINITY]);
+        assert!(s.max.is_infinite());
+        assert_eq!(s.unbounded, 1);
+        assert_eq!(s.median, 3.0); // index 2 of sorted [1,2,3,inf]
+        assert!((s.mean_finite - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn benchmark_dataset_runs_end_to_end() {
+        let gen = saga_datasets::by_name("in_trees").unwrap();
+        let scheds = benchmark_schedulers();
+        let stats = benchmark_dataset(&scheds, &gen, 3, 11);
+        assert_eq!(stats.len(), scheds.len());
+        for s in stats {
+            assert!(s.max >= 1.0 - 1e-9);
+        }
+    }
+}

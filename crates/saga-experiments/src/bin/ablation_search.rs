@@ -1,0 +1,86 @@
+//! Ablation: does PISA need simulated annealing? Compares annealing,
+//! hill-climbing, and a random walk at identical budgets over a panel of
+//! scheduler pairs (a design-choice ablation flagged in DESIGN.md; the
+//! paper proposes exploring other meta-heuristics as future work).
+//!
+//! Usage: `ablation_search [--imax N] [--restarts R] [--seed S] [--trials K]`.
+
+use saga_experiments::{cli, render, write_results_file};
+use saga_pisa::ablation::{search, Strategy};
+use saga_pisa::perturb::{initial_instance, GeneralPerturber};
+use saga_pisa::PisaConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = PisaConfig {
+        i_max: cli::arg_or(&args, "imax", 1000),
+        restarts: cli::arg_or(&args, "restarts", 5),
+        seed: cli::arg_or(&args, "seed", 0xAB1A),
+        ..PisaConfig::default()
+    };
+    let trials: usize = cli::arg_or(&args, "trials", 5);
+
+    let pairs = [
+        ("HEFT", "CPoP"),
+        ("CPoP", "HEFT"),
+        ("HEFT", "FastestNode"),
+        ("MinMin", "MaxMin"),
+        ("WBA", "HEFT"),
+        ("MCT", "HEFT"),
+    ];
+    println!(
+        "Ablation: best adversarial ratio by search strategy \
+         ({} restarts x {} iters, mean over {trials} seeds)\n",
+        config.restarts, config.i_max
+    );
+    let col_names: Vec<String> = Strategy::ALL.iter().map(|s| s.name().to_string()).collect();
+    let mut row_names = Vec::new();
+    let mut rows = Vec::new();
+    let mut wins = vec![0usize; Strategy::ALL.len()];
+    for (a, b) in pairs {
+        let target = saga_schedulers::by_name(a).unwrap();
+        let baseline = saga_schedulers::by_name(b).unwrap();
+        let perturber = GeneralPerturber::default();
+        let mut means = Vec::new();
+        let mut trial_best: Vec<Vec<f64>> = vec![Vec::new(); Strategy::ALL.len()];
+        for (si, strategy) in Strategy::ALL.into_iter().enumerate() {
+            let mut total = 0.0;
+            for k in 0..trials {
+                let cfg = PisaConfig {
+                    seed: config.seed.wrapping_add(1000 * k as u64),
+                    ..config
+                };
+                let res = search(&*target, &*baseline, &perturber, cfg, strategy, &|rng| {
+                    initial_instance(rng)
+                });
+                let r = if res.ratio.is_finite() { res.ratio } else { 1000.0 };
+                total += r;
+                trial_best[si].push(r);
+            }
+            means.push(total / trials as f64);
+        }
+        // count per-trial wins (ties split to the earlier strategy)
+        #[allow(clippy::needless_range_loop)] // k indexes parallel per-strategy vectors
+        for k in 0..trial_best[0].len() {
+            let mut best = 0;
+            for si in 1..Strategy::ALL.len() {
+                if trial_best[si][k] > trial_best[best][k] {
+                    best = si;
+                }
+            }
+            wins[best] += 1;
+        }
+        row_names.push(format!("{a} vs {b}"));
+        rows.push(means);
+    }
+    println!("{}", render::matrix("mean best ratio (1000 = unbounded)", &row_names, &col_names, &rows));
+    println!("per-trial wins across all pairs:");
+    for (s, w) in Strategy::ALL.iter().zip(&wins) {
+        println!("  {:<12} {w}", s.name());
+    }
+    let path = write_results_file(
+        "ablation_search.csv",
+        &render::matrix_csv(&row_names, &col_names, &rows),
+    );
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,61 @@
+//! Characterizes all 16 datasets structurally — quantifying the paper's
+//! "what family is this dataset really representative of?" discussion, and
+//! profiling the witnesses PISA finds (are the adversarial instances
+//! structurally unusual, or in-family?).
+//!
+//! Usage: `characterize [--samples N] [--seed S]`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saga_datasets::characterize::{mean_profile, profile};
+use saga_experiments::cli;
+use saga_pisa::library::WitnessLibrary;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let samples: usize = cli::arg_or(&args, "samples", 25);
+    let seed: u64 = cli::arg_or(&args, "seed", 0xC0DE);
+
+    println!("Structural profile per dataset (mean over {samples} samples)\n");
+    println!(
+        "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9}",
+        "dataset", "|T|", "|D|", "|V|", "depth", "width", "T1/Tinf", "CCR", "speed cv"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    for gen in saga_datasets::all_generators() {
+        let instances = gen.sample_many(&mut rng, samples);
+        let p = mean_profile(&instances);
+        println!(
+            "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8.2} {:>8.2} {:>9.2}",
+            gen.name, p.tasks, p.dependencies, p.nodes, p.depth, p.width, p.parallelism, p.ccr,
+            p.speed_cv
+        );
+    }
+
+    // profile the published adversarial witnesses, if present
+    let path = "results/fig4_witnesses.jsonl";
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if let Ok(lib) = WitnessLibrary::from_jsonl(&text) {
+            println!("\nPISA witness instances ({} from {path}):", lib.records.len());
+            let instances: Vec<_> = lib.records.iter().map(|r| r.instance()).collect();
+            let p = mean_profile(&instances);
+            println!(
+                "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8.2} {:>8.2} {:>9.2}",
+                "witnesses", p.tasks, p.dependencies, p.nodes, p.depth, p.width, p.parallelism,
+                p.ccr, p.speed_cv
+            );
+            // how far from the chains dataset (their seed family) did the
+            // search wander?
+            let chains = saga_datasets::by_name("chains").unwrap();
+            let base = mean_profile(&chains.sample_many(&mut rng, samples));
+            println!(
+                "\nwitnesses vs the chains family: depth {} vs {}, width {} vs {}, CCR {:.2} vs {:.2}",
+                p.depth, base.depth, p.width, base.width, p.ccr, base.ccr
+            );
+            let deepest = instances.iter().map(|i| profile(i).depth).max().unwrap_or(0);
+            println!("deepest witness: {deepest} levels");
+        }
+    } else {
+        eprintln!("(no witness library at {path}; run `fig4` to profile witnesses too)");
+    }
+}

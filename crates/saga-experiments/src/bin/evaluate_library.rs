@@ -1,0 +1,70 @@
+//! Scores a scheduler against a published library of adversarial witnesses
+//! (e.g. `results/fig4_witnesses.jsonl` produced by the `fig4` binary) —
+//! the paper's proposed workflow for evaluating *new* algorithms against
+//! instances PISA already found, without re-running the search.
+//!
+//! Usage: `evaluate_library [scheduler] [--library PATH]`
+//! (default scheduler: `Ensemble` = HEFT+CPoP+MaxMin portfolio).
+
+use saga_experiments::cli;
+use saga_pisa::library::WitnessLibrary;
+use saga_schedulers::Scheduler;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = cli::positional(&args).unwrap_or("Ensemble").to_string();
+    let default_path = "results/fig4_witnesses.jsonl".to_string();
+    let path: String = cli::arg_or(&args, "library", default_path);
+
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read witness library {path}: {e} (run `fig4` first)"));
+    let lib = WitnessLibrary::from_jsonl(&text).expect("well-formed library");
+    println!("loaded {} witnesses from {path}", lib.records.len());
+    let bad = lib.revalidate();
+    println!("library revalidation mismatches: {bad}");
+
+    let candidate: Box<dyn Scheduler> = if name.eq_ignore_ascii_case("ensemble") {
+        Box::new(saga_schedulers::Ensemble::default_portfolio())
+    } else {
+        saga_schedulers::by_name(&name).unwrap_or_else(|| panic!("unknown scheduler {name}"))
+    };
+
+    let rows = lib.evaluate(&*candidate);
+    let mut worse_than_2 = 0;
+    let mut own_traps = 0;
+    let mut own_total = 0;
+    println!(
+        "\n{:<12} {:<12} {:>10} {:>12}",
+        "trap for", "baseline", "stored", candidate.name()
+    );
+    for (target, baseline, stored, cand) in &rows {
+        if *cand >= 2.0 {
+            worse_than_2 += 1;
+        }
+        if target.eq_ignore_ascii_case(candidate.name()) {
+            own_total += 1;
+            if *cand >= 2.0 {
+                own_traps += 1;
+            }
+        }
+        // print only the interesting rows: candidate clearly caught
+        if *cand >= 2.0 {
+            println!(
+                "{target:<12} {baseline:<12} {:>10} {:>12}",
+                saga_pisa::PairwiseMatrix::format_cell(*stored),
+                saga_pisa::PairwiseMatrix::format_cell(*cand),
+            );
+        }
+    }
+    println!(
+        "\n{} falls >=2x behind the baseline on {worse_than_2}/{} stored witnesses",
+        candidate.name(),
+        rows.len()
+    );
+    if own_total > 0 {
+        println!(
+            "(on witnesses originally targeting {}: {own_traps}/{own_total})",
+            candidate.name()
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates Fig. 2: benchmarking the 15 polynomial schedulers on all 16
+//! datasets. Each cell reports the *maximum* makespan ratio a scheduler hit
+//! on the dataset (the paper's color scale tops out the same way); median
+//! and unbounded counts land in the CSV.
+//!
+//! Usage: `fig2 [--instances N] [--seed S]` (default 25 instances/dataset;
+//! the paper uses 100–1000 — same shape, longer runtime).
+
+use saga_experiments::{benchmarking, cli, render, write_results_file};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let instances: usize = cli::arg_or(&args, "instances", 25);
+    let seed: u64 = cli::arg_or(&args, "seed", 0xF162);
+
+    let schedulers = saga_schedulers::benchmark_schedulers();
+    let sched_names: Vec<String> = schedulers.iter().map(|s| s.name().to_string()).collect();
+    let generators = saga_datasets::all_generators();
+    let dataset_names: Vec<String> = generators.iter().map(|g| g.name.to_string()).collect();
+
+    let mut max_rows: Vec<Vec<f64>> = Vec::with_capacity(generators.len());
+    let mut med_rows: Vec<Vec<f64>> = Vec::with_capacity(generators.len());
+    for gen in &generators {
+        eprintln!("benchmarking {:<12} ({instances} instances)", gen.name);
+        let stats = benchmarking::benchmark_dataset(&schedulers, gen, instances, seed);
+        max_rows.push(stats.iter().map(|s| s.max).collect());
+        med_rows.push(stats.iter().map(|s| s.median).collect());
+    }
+
+    println!(
+        "{}",
+        render::matrix(
+            &format!("Fig. 2: max makespan ratio per (dataset, scheduler), {instances} instances"),
+            &dataset_names,
+            &sched_names,
+            &max_rows,
+        )
+    );
+    println!(
+        "{}",
+        render::matrix(
+            "Fig. 2 (median makespan ratio)",
+            &dataset_names,
+            &sched_names,
+            &med_rows,
+        )
+    );
+
+    let csv = render::matrix_csv(&dataset_names, &sched_names, &max_rows);
+    let path = write_results_file("fig2_max_ratios.csv", &csv);
+    let csv = render::matrix_csv(&dataset_names, &sched_names, &med_rows);
+    let path2 = write_results_file("fig2_median_ratios.csv", &csv);
+    eprintln!("wrote {} and {}", path.display(), path2.display());
+
+    // The qualitative Fig. 2 takeaways, checked live:
+    let fastest_idx = sched_names.iter().position(|n| n == "FastestNode").unwrap();
+    let heft_idx = sched_names.iter().position(|n| n == "HEFT").unwrap();
+    let fastest_bad_somewhere = max_rows.iter().any(|row| row[fastest_idx] > 2.0);
+    let heft_med: Vec<f64> = med_rows.iter().map(|r| r[heft_idx]).collect();
+    println!("check: FastestNode max ratio > 2 on some dataset: {fastest_bad_somewhere}");
+    println!(
+        "check: HEFT median ratio stays below 1.35 on every dataset: {}",
+        heft_med.iter().all(|&r| r < 1.35)
+    );
+}

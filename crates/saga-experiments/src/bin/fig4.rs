@@ -1,0 +1,94 @@
+//! Regenerates Fig. 4: the PISA pairwise heatmap over all 15 schedulers,
+//! plus the paper's two headline claims:
+//!
+//! 1. every scheduler has an adversarial instance on which it is at least
+//!    2x worse than some other scheduler (most are 5x);
+//! 2. for nearly every pair, each direction admits a >1 ratio (no scheduler
+//!    strictly dominates another).
+//!
+//! Usage: `fig4 [--imax N] [--restarts R] [--seed S]`. Defaults match the
+//! paper (`imax 1000`, `restarts 5`); the matrix is rayon-parallel.
+
+use saga_experiments::{cli, render, write_results_file};
+use saga_pisa::{pairwise_matrix, PisaConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let imax: usize = cli::arg_or(&args, "imax", 1000);
+    let restarts: usize = cli::arg_or(&args, "restarts", 5);
+    let seed: u64 = cli::arg_or(&args, "seed", 0xF164);
+
+    let schedulers = saga_schedulers::benchmark_schedulers();
+    eprintln!(
+        "running PISA for {} ordered pairs ({restarts} restarts x {imax} iters)...",
+        schedulers.len() * (schedulers.len() - 1)
+    );
+    let t0 = std::time::Instant::now();
+    let m = pairwise_matrix(
+        &schedulers,
+        PisaConfig {
+            i_max: imax,
+            restarts,
+            seed,
+            ..PisaConfig::default()
+        },
+    );
+    eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    // assemble: "Worst" row on top, then baseline rows (paper order)
+    let mut row_names = vec!["Worst".to_string()];
+    row_names.extend(m.names.iter().rev().cloned());
+    let mut rows = vec![m.worst_row()];
+    for i in (0..m.names.len()).rev() {
+        rows.push(m.ratios[i].clone());
+    }
+    println!(
+        "{}",
+        render::matrix(
+            "Fig. 4: worst-case makespan ratio of scheduler (column) vs baseline (row)",
+            &row_names,
+            &m.names,
+            &rows,
+        )
+    );
+    let path = write_results_file(
+        "fig4_pairwise.csv",
+        &render::matrix_csv(&row_names, &m.names, &rows),
+    );
+    // persist the witness instances for reuse by other researchers
+    // (the paper's "publish PISA instances" future-work item)
+    let library = saga_pisa::library::WitnessLibrary::from_matrix(&m);
+    let wpath = write_results_file("fig4_witnesses.jsonl", &library.to_jsonl());
+    eprintln!("wrote {} and {}", path.display(), wpath.display());
+
+    // headline claims
+    let worst = m.worst_row();
+    let at_least_2x = worst.iter().filter(|&&r| r >= 2.0).count();
+    let at_least_5x = worst.iter().filter(|&&r| r >= 5.0).count();
+    println!(
+        "check: schedulers with a >=2x adversarial loss: {at_least_2x}/{} (paper: 15/15)",
+        worst.len()
+    );
+    println!(
+        "check: schedulers with a >=5x adversarial loss: {at_least_5x}/{} (paper: 10/15)",
+        worst.len()
+    );
+    let n = m.names.len();
+    let mut both_dirs = 0;
+    let mut pairs = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs += 1;
+            if m.ratios[i][j] > 1.0 && m.ratios[j][i] > 1.0 {
+                both_dirs += 1;
+            }
+        }
+    }
+    println!("check: pairs adversarial in BOTH directions: {both_dirs}/{pairs}");
+    let heft = m.names.iter().position(|s| s == "HEFT").unwrap();
+    let fastest = m.names.iter().position(|s| s == "FastestNode").unwrap();
+    println!(
+        "check: HEFT vs FastestNode worst ratio {} (paper: 4.34)",
+        render::cell(m.ratios[fastest][heft])
+    );
+}

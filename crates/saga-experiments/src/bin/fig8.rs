@@ -1,0 +1,46 @@
+//! Regenerates Fig. 8: 1000 draws from the wide fork-join family (expensive
+//! join messages, weak link between the two fastest nodes) on which CPoP
+//! performs poorly against HEFT.
+//!
+//! Usage: `fig8 [--instances N] [--seed S]`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saga_datasets::families::cpop_weak_instance;
+use saga_experiments::{cli, render, write_results_file};
+use saga_schedulers::{Cpop, Heft, Scheduler};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let instances: usize = cli::arg_or(&args, "instances", 1000);
+    let seed: u64 = cli::arg_or(&args, "seed", 0xF168);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut heft = Vec::with_capacity(instances);
+    let mut cpop = Vec::with_capacity(instances);
+    for _ in 0..instances {
+        let inst = cpop_weak_instance(&mut rng);
+        heft.push(Heft.schedule(&inst).makespan());
+        cpop.push(Cpop.schedule(&inst).makespan());
+    }
+    println!("Fig. 8: makespans on the CPoP-weak wide fork-join family ({instances} instances)\n");
+    println!("{}", render::five_number_summary("CPoP", &cpop));
+    println!("{}", render::five_number_summary("HEFT", &heft));
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    println!(
+        "\nmean makespan: CPoP {:.3}, HEFT {:.3} (ratio {:.3})",
+        mean(&cpop),
+        mean(&heft),
+        mean(&cpop) / mean(&heft)
+    );
+    println!(
+        "check: CPoP clearly worse on this family: {}",
+        mean(&cpop) > 1.1 * mean(&heft)
+    );
+    let mut csv = String::from("instance,heft,cpop\n");
+    for i in 0..instances {
+        csv.push_str(&format!("{i},{},{}\n", heft[i], cpop[i]));
+    }
+    let path = write_results_file("fig8_makespans.csv", &csv);
+    eprintln!("wrote {}", path.display());
+}

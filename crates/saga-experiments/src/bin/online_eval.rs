@@ -1,0 +1,78 @@
+//! The price of non-clairvoyance: compares online dispatch policies against
+//! offline HEFT as task arrivals are staggered more and more — the paper's
+//! "online scheduling" future-work direction, measured.
+//!
+//! Usage: `online_eval [workflow] [--instances N] [--seed S]`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saga_core::Instance;
+use saga_experiments::{cli, write_results_file};
+use saga_schedulers::online::{simulate_online, OnlineEft, OnlineOlb, ReleaseTimes};
+use saga_schedulers::Scheduler;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workflow = cli::positional(&args).unwrap_or("blast").to_string();
+    let instances: usize = cli::arg_or(&args, "instances", 10);
+    let seed: u64 = cli::arg_or(&args, "seed", 0x0411);
+
+    let spec = saga_datasets::workflows::spec(&workflow)
+        .unwrap_or_else(|| panic!("unknown workflow {workflow}"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    println!(
+        "Online vs offline on {workflow} ({instances} instances; stagger = arrival gap per level)\n"
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "stagger", "offline HEFT", "OnlineEFT", "OnlineOLB"
+    );
+    let mut csv = String::from("stagger,offline_heft,online_eft,online_olb\n");
+    for stagger_frac in [0.0, 0.25, 0.5, 1.0, 2.0] {
+        let mut offline = 0.0;
+        let mut eft = 0.0;
+        let mut olb = 0.0;
+        let mut inner = StdRng::seed_from_u64(seed ^ 0xABCD);
+        for _ in 0..instances {
+            let g = saga_datasets::workflows::build_graph(&workflow, &mut rng);
+            let net = saga_datasets::workflows::sample_chameleon_network(&mut rng, &spec);
+            let mut inst = Instance::new(net, g);
+            saga_datasets::ccr::set_homogeneous_ccr(&mut inst, 1.0);
+            let h = saga_schedulers::Heft.schedule(&inst).makespan();
+            offline += h;
+            // stagger proportional to the offline makespan scale
+            let stagger = stagger_frac * h / 4.0;
+            let jitters: Vec<f64> = (0..inst.graph.task_count())
+                .map(|_| inner.gen_range(0.0..=stagger.max(1e-12)))
+                .collect();
+            let releases = ReleaseTimes::staggered(&inst, stagger, |i| jitters[i] * 0.1);
+            let se = simulate_online(&inst, &releases, &OnlineEft);
+            releases.verify(&inst, &se).expect("valid online schedule");
+            eft += se.makespan();
+            let so = simulate_online(&inst, &releases, &OnlineOlb);
+            releases.verify(&inst, &so).expect("valid online schedule");
+            olb += so.makespan();
+        }
+        let n = instances as f64;
+        println!(
+            "{:>8.2} {:>14.1} {:>14.1} {:>14.1}",
+            stagger_frac,
+            offline / n,
+            eft / n,
+            olb / n
+        );
+        csv.push_str(&format!(
+            "{},{},{},{}\n",
+            stagger_frac,
+            offline / n,
+            eft / n,
+            olb / n
+        ));
+    }
+    let path = write_results_file(&format!("online_{workflow}.csv"), &csv);
+    eprintln!("wrote {}", path.display());
+    println!(
+        "\noffline HEFT sees the whole graph at t=0; the online policies pay\n\
+         for both non-clairvoyance and the arrival-induced idle time."
+    );
+}

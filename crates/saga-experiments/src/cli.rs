@@ -1,0 +1,58 @@
+//! Minimal argument parsing shared by the experiment binaries (no external
+//! CLI crate needed for `--flag value` pairs).
+
+/// Returns the value following `--name`, parsed, or `default`.
+pub fn arg_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    let flag = format!("--{name}");
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+/// Returns the first positional (non-flag) argument, if any.
+pub fn positional(args: &[String]) -> Option<&str> {
+    let mut skip = false;
+    for a in args.iter().skip(1) {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_values() {
+        let args = v(&["prog", "--instances", "42", "--imax", "100"]);
+        assert_eq!(arg_or(&args, "instances", 0usize), 42);
+        assert_eq!(arg_or(&args, "imax", 0usize), 100);
+        assert_eq!(arg_or(&args, "missing", 7u64), 7);
+    }
+
+    #[test]
+    fn finds_positional_between_flags() {
+        let args = v(&["prog", "--imax", "100", "blast", "--seed", "1"]);
+        assert_eq!(positional(&args), Some("blast"));
+        assert_eq!(positional(&v(&["prog", "--imax", "9"])), None);
+    }
+
+    #[test]
+    fn unparseable_value_falls_back() {
+        let args = v(&["prog", "--instances", "many"]);
+        assert_eq!(arg_or(&args, "instances", 5usize), 5);
+    }
+}

@@ -1,0 +1,179 @@
+//! Search-strategy ablation: is simulated annealing actually pulling its
+//! weight in PISA, or would a dumber search find the same adversarial
+//! instances? (A design-choice question DESIGN.md calls out; the paper
+//! names genetic algorithms and other meta-heuristics as future work.)
+//!
+//! Three strategies share the PISA objective, perturbations and budget:
+//!
+//! * [`Strategy::Annealing`] — PISA proper (Metropolis acceptance, cooling);
+//! * [`Strategy::HillClimb`] — accept only strict improvements;
+//! * [`Strategy::RandomWalk`] — accept every perturbation (best-so-far is
+//!   still tracked, so this is random search through instance space).
+
+use crate::annealer::{Pisa, PisaConfig, PisaResult};
+use crate::perturb::Perturber;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saga_core::Instance;
+use saga_schedulers::Scheduler;
+
+/// An adversarial-search acceptance strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Metropolis acceptance with geometric cooling (PISA).
+    Annealing,
+    /// Greedy: accept only improvements over the current instance.
+    HillClimb,
+    /// Accept everything; equivalent to a random walk with memory.
+    RandomWalk,
+}
+
+impl Strategy {
+    /// All strategies, for sweep loops.
+    pub const ALL: [Strategy; 3] = [Strategy::Annealing, Strategy::HillClimb, Strategy::RandomWalk];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Annealing => "annealing",
+            Strategy::HillClimb => "hill-climb",
+            Strategy::RandomWalk => "random-walk",
+        }
+    }
+}
+
+/// Runs the adversarial search with the chosen `strategy`, using the same
+/// restart/iteration budget as [`Pisa::run`] so results are comparable.
+pub fn search(
+    target: &dyn Scheduler,
+    baseline: &dyn Scheduler,
+    perturber: &dyn Perturber,
+    config: PisaConfig,
+    strategy: Strategy,
+    init: &dyn Fn(&mut StdRng) -> Instance,
+) -> PisaResult {
+    let pisa = Pisa {
+        target,
+        baseline,
+        perturber,
+        config,
+    };
+    if strategy == Strategy::Annealing {
+        return pisa.run(init);
+    }
+    let mut best: Option<PisaResult> = None;
+    for k in 0..config.restarts {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(k as u64));
+        let start = init(&mut rng);
+        let res = run_flat(&pisa, start, &mut rng, strategy);
+        let better = match &best {
+            None => true,
+            Some(b) => res.ratio > b.ratio,
+        };
+        if better {
+            best = Some(res);
+        }
+    }
+    best.expect("restarts >= 1")
+}
+
+/// Temperature-free search loop, budget-matched to the annealing run (which
+/// stops when `T` crosses `T_min` or at `I_max`, whichever comes first).
+fn run_flat(pisa: &Pisa<'_>, start: Instance, rng: &mut StdRng, strategy: Strategy) -> PisaResult {
+    let cfg = &pisa.config;
+    let natural = ((cfg.t_min / cfg.t_max).ln() / cfg.alpha.ln()).ceil() as usize;
+    let iters = natural.min(cfg.i_max);
+    let initial_ratio = pisa.ratio(&start);
+    let mut evaluations = 1;
+    let mut current = start.clone();
+    let mut cur_ratio = initial_ratio;
+    let mut best = start;
+    let mut best_ratio = initial_ratio;
+    for _ in 0..iters {
+        let mut candidate = current.clone();
+        pisa.perturber.perturb(&mut candidate, rng);
+        let r = pisa.ratio(&candidate);
+        evaluations += 1;
+        if r > best_ratio {
+            best = candidate.clone();
+            best_ratio = r;
+        }
+        let accept = match strategy {
+            Strategy::HillClimb => r > cur_ratio,
+            Strategy::RandomWalk => true,
+            Strategy::Annealing => unreachable!("handled by Pisa::run"),
+        };
+        if accept {
+            current = candidate;
+            cur_ratio = r;
+        }
+    }
+    let _ = (cur_ratio, rng.gen::<u8>()); // keep rng streams distinct per restart
+    PisaResult {
+        instance: best,
+        ratio: best_ratio,
+        initial_ratio,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perturb::{initial_instance, GeneralPerturber};
+    use saga_schedulers::{Cpop, Heft};
+
+    fn quick(seed: u64) -> PisaConfig {
+        PisaConfig {
+            i_max: 150,
+            restarts: 2,
+            seed,
+            ..PisaConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_strategies_return_valid_results() {
+        let p = GeneralPerturber::default();
+        for strategy in Strategy::ALL {
+            let res = search(&Heft, &Cpop, &p, quick(1), strategy, &|rng| {
+                initial_instance(rng)
+            });
+            assert!(res.ratio >= res.initial_ratio, "{}", strategy.name());
+            assert!(res.evaluations > 1);
+        }
+    }
+
+    #[test]
+    fn budgets_are_comparable() {
+        let p = GeneralPerturber::default();
+        let a = search(&Heft, &Cpop, &p, quick(2), Strategy::Annealing, &|rng| {
+            initial_instance(rng)
+        });
+        let h = search(&Heft, &Cpop, &p, quick(2), Strategy::HillClimb, &|rng| {
+            initial_instance(rng)
+        });
+        // same restart count, same per-run iteration budget
+        assert_eq!(a.evaluations, h.evaluations);
+    }
+
+    #[test]
+    fn strategies_are_deterministic() {
+        let p = GeneralPerturber::default();
+        for strategy in Strategy::ALL {
+            let a = search(&Heft, &Cpop, &p, quick(3), strategy, &|rng| {
+                initial_instance(rng)
+            });
+            let b = search(&Heft, &Cpop, &p, quick(3), strategy, &|rng| {
+                initial_instance(rng)
+            });
+            assert_eq!(a.ratio, b.ratio, "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(Strategy::Annealing.name(), "annealing");
+        assert_eq!(Strategy::ALL.len(), 3);
+    }
+}

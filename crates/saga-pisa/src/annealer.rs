@@ -1,0 +1,295 @@
+//! The simulated-annealing core of PISA (the paper's Algorithm 1).
+
+use crate::perturb::Perturber;
+use crate::makespan_ratio;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saga_core::Instance;
+use saga_schedulers::Scheduler;
+
+/// Annealing-schedule constants. Defaults are exactly the paper's:
+/// `T_max = 10`, `T_min = 0.1`, `I_max = 1000`, `alpha = 0.99`, 5 restarts.
+#[derive(Debug, Clone, Copy)]
+pub struct PisaConfig {
+    /// Initial temperature.
+    pub t_max: f64,
+    /// Temperature at which a run stops.
+    pub t_min: f64,
+    /// Hard iteration cap per run.
+    pub i_max: usize,
+    /// Geometric cooling factor.
+    pub alpha: f64,
+    /// Independent restarts from fresh initial instances.
+    pub restarts: usize,
+    /// Base RNG seed (restart `k` uses `seed + k`).
+    pub seed: u64,
+}
+
+impl Default for PisaConfig {
+    fn default() -> Self {
+        PisaConfig {
+            t_max: 10.0,
+            t_min: 0.1,
+            i_max: 1000,
+            alpha: 0.99,
+            restarts: 5,
+            seed: 0x9153A,
+        }
+    }
+}
+
+impl PisaConfig {
+    /// A cheaper schedule for CI and examples: 2 restarts of 250 iterations.
+    pub fn quick(seed: u64) -> Self {
+        PisaConfig {
+            i_max: 250,
+            restarts: 2,
+            seed,
+            ..PisaConfig::default()
+        }
+    }
+}
+
+/// Outcome of a PISA search.
+#[derive(Debug, Clone)]
+pub struct PisaResult {
+    /// The instance maximizing the makespan ratio.
+    pub instance: Instance,
+    /// `m(S_A) / m(S_B)` on that instance.
+    pub ratio: f64,
+    /// Ratio of the initial instance of the best restart (for "how much did
+    /// annealing help" diagnostics).
+    pub initial_ratio: f64,
+    /// Total candidate evaluations across restarts.
+    pub evaluations: usize,
+}
+
+/// The PISA search engine for one ordered scheduler pair.
+pub struct Pisa<'a> {
+    /// Scheduler whose failures we are hunting (`A`, the numerator).
+    pub target: &'a dyn Scheduler,
+    /// Baseline scheduler (`B`, the denominator).
+    pub baseline: &'a dyn Scheduler,
+    /// Mutation strategy.
+    pub perturber: &'a dyn Perturber,
+    /// Annealing constants.
+    pub config: PisaConfig,
+}
+
+impl Pisa<'_> {
+    /// The objective on one instance.
+    pub fn ratio(&self, inst: &Instance) -> f64 {
+        let a = self.target.schedule(inst).makespan();
+        let b = self.baseline.schedule(inst).makespan();
+        makespan_ratio(a, b)
+    }
+
+    /// Runs all restarts from initial instances produced by `init` and
+    /// returns the best result.
+    ///
+    /// Acceptance follows the standard Metropolis criterion for
+    /// maximization, `exp(-(r_cur - r') / T)` — see DESIGN.md for why the
+    /// paper's printed formula is replaced (it is non-monotonic in solution
+    /// quality).
+    pub fn run(&self, init: &dyn Fn(&mut StdRng) -> Instance) -> PisaResult {
+        maximize(
+            &|inst| self.ratio(inst),
+            self.perturber,
+            self.config,
+            init,
+        )
+    }
+
+    /// One annealing run from a fixed initial instance.
+    pub fn run_once(&self, start: Instance, rng: &mut StdRng) -> PisaResult {
+        maximize_once(&|inst| self.ratio(inst), self.perturber, self.config, start, rng)
+    }
+}
+
+/// Generic adversarial annealer: maximizes an arbitrary instance objective
+/// (makespan ratio, energy ratio, throughput gap, ...) with PISA's schedule.
+/// [`Pisa::run`] is `maximize` with the makespan-ratio objective; the
+/// metric-ratio objectives of `saga-pisa::metric` plug in here too.
+pub fn maximize(
+    objective: &dyn Fn(&Instance) -> f64,
+    perturber: &dyn Perturber,
+    config: PisaConfig,
+    init: &dyn Fn(&mut StdRng) -> Instance,
+) -> PisaResult {
+    let mut best: Option<PisaResult> = None;
+    for k in 0..config.restarts {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(k as u64));
+        let start = init(&mut rng);
+        let res = maximize_once(objective, perturber, config, start, &mut rng);
+        let better = match &best {
+            None => true,
+            Some(b) => res.ratio > b.ratio,
+        };
+        if better {
+            best = Some(res);
+        }
+    }
+    best.expect("restarts >= 1")
+}
+
+/// One annealing run of [`maximize`] from a fixed initial instance.
+pub fn maximize_once(
+    objective: &dyn Fn(&Instance) -> f64,
+    perturber: &dyn Perturber,
+    config: PisaConfig,
+    start: Instance,
+    rng: &mut StdRng,
+) -> PisaResult {
+    let initial_ratio = objective(&start);
+    let mut evaluations = 1;
+    let mut current = start.clone();
+    let mut cur_ratio = initial_ratio;
+    let mut best = start;
+    let mut best_ratio = initial_ratio;
+
+    let mut t = config.t_max;
+    let mut iter = 0;
+    while t > config.t_min && iter < config.i_max {
+        let mut candidate = current.clone();
+        perturber.perturb(&mut candidate, rng);
+        let r = objective(&candidate);
+        evaluations += 1;
+        if r > best_ratio {
+            best = candidate.clone();
+            best_ratio = r;
+            current = candidate;
+            cur_ratio = r;
+        } else if accept(cur_ratio, r, t, rng) {
+            current = candidate;
+            cur_ratio = r;
+        }
+        t *= config.alpha;
+        iter += 1;
+    }
+    PisaResult {
+        instance: best,
+        ratio: best_ratio,
+        initial_ratio,
+        evaluations,
+    }
+}
+
+/// Metropolis acceptance for a maximization over ratios; handles the
+/// infinite ratios that zero-weight instances produce.
+fn accept(cur: f64, candidate: f64, t: f64, rng: &mut StdRng) -> bool {
+    if candidate >= cur {
+        return true;
+    }
+    if candidate.is_infinite() {
+        return true; // cur must be infinite too (>= case), defensive
+    }
+    if cur.is_infinite() {
+        return false; // never step down from an unbounded ratio
+    }
+    let p = (-(cur - candidate) / t).exp();
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perturb::{initial_instance, GeneralPerturber};
+    use saga_schedulers::{Cpop, FastestNode, Heft};
+
+    #[test]
+    fn accept_is_monotonic_in_quality_and_temperature() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // equal or better always accepted
+        assert!(accept(1.0, 1.0, 0.1, &mut rng));
+        assert!(accept(1.0, 2.0, 0.1, &mut rng));
+        // large drop at tiny temperature: essentially never
+        let mut hits = 0;
+        for _ in 0..1000 {
+            if accept(5.0, 1.0, 0.1, &mut rng) {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 0, "p = e^-40");
+        // same drop at high temperature: often
+        let mut hits = 0;
+        for _ in 0..1000 {
+            if accept(5.0, 1.0, 10.0, &mut rng) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 400, "p = e^-0.4 ~ 0.67, got {hits}/1000");
+        // infinite current is never abandoned
+        assert!(!accept(f64::INFINITY, 1.0, 10.0, &mut rng));
+    }
+
+    #[test]
+    fn finds_heft_losing_to_cpop() {
+        // the paper's headline claim, in miniature: even a short search
+        // finds an instance where HEFT is >= 1.2x worse than CPoP
+        let pisa = Pisa {
+            target: &Heft,
+            baseline: &Cpop,
+            perturber: &GeneralPerturber::default(),
+            config: PisaConfig::quick(1),
+        };
+        let res = pisa.run(&|rng| initial_instance(rng));
+        assert!(
+            res.ratio >= 1.2,
+            "expected an adversarial instance, best ratio {}",
+            res.ratio
+        );
+        // and the ratio is real: recompute from the instance
+        let again = pisa.ratio(&res.instance);
+        assert!((again - res.ratio).abs() < 1e-9 || (again.is_infinite() && res.ratio.is_infinite()));
+    }
+
+    #[test]
+    fn best_ratio_never_below_initial() {
+        let pisa = Pisa {
+            target: &FastestNode,
+            baseline: &Heft,
+            perturber: &GeneralPerturber::default(),
+            config: PisaConfig::quick(2),
+        };
+        let res = pisa.run(&|rng| initial_instance(rng));
+        assert!(res.ratio >= res.initial_ratio);
+        assert!(res.evaluations > 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pisa = Pisa {
+            target: &Heft,
+            baseline: &FastestNode,
+            perturber: &GeneralPerturber::default(),
+            config: PisaConfig::quick(3),
+        };
+        let a = pisa.run(&|rng| initial_instance(rng));
+        let b = pisa.run(&|rng| initial_instance(rng));
+        assert_eq!(a.ratio, b.ratio);
+        assert_eq!(a.instance.to_json(), b.instance.to_json());
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        // with alpha = 0.99, T falls below 0.1 after ~459 iterations, so a
+        // 250-cap run performs at most 251 evaluations (initial + 250)
+        let pisa = Pisa {
+            target: &Heft,
+            baseline: &Cpop,
+            perturber: &GeneralPerturber::default(),
+            config: PisaConfig {
+                restarts: 1,
+                i_max: 250,
+                ..PisaConfig::default()
+            },
+        };
+        let res = pisa.run(&|rng| initial_instance(rng));
+        assert!(res.evaluations <= 251, "{}", res.evaluations);
+        // and the paper's full schedule stops at T_min, not I_max
+        let full = PisaConfig::default();
+        let natural_stop =
+            ((full.t_min / full.t_max).ln() / full.alpha.ln()).ceil() as usize;
+        assert!(natural_stop < full.i_max, "T_min binds first: {natural_stop}");
+    }
+}

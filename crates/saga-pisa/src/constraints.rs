@@ -1,0 +1,121 @@
+//! Per-scheduler perturbation restrictions (Section VI).
+//!
+//! Some schedulers were designed for partially homogeneous systems, so PISA
+//! only searches the space they were designed for: for **ETF, FCP and FLB**
+//! node speeds start at 1 and are never perturbed; for **BIL, GDL, FCP and
+//! FLB** link strengths start at 1 and are never perturbed. (The paper
+//! freezes exactly these aspects; BIL/GDL are unrelated-machines designs
+//! whose evaluations used homogeneous links.)
+
+use crate::perturb::GeneralPerturber;
+use saga_core::{Instance, NodeId};
+
+/// Whether the named scheduler assumes homogeneous node speeds.
+pub fn fixed_node_weights(name: &str) -> bool {
+    matches!(name, "ETF" | "FCP" | "FLB")
+}
+
+/// Whether the named scheduler assumes homogeneous link strengths.
+pub fn fixed_link_weights(name: &str) -> bool {
+    matches!(name, "BIL" | "GDL" | "FCP" | "FLB")
+}
+
+/// Restricts a perturber for a *pair* of schedulers: an aspect frozen for
+/// either side is frozen for the comparison (both schedulers run on the same
+/// instances).
+pub fn restrict_for_pair(mut p: GeneralPerturber, a: &str, b: &str) -> GeneralPerturber {
+    if fixed_node_weights(a) || fixed_node_weights(b) {
+        p.node_weights = false;
+    }
+    if fixed_link_weights(a) || fixed_link_weights(b) {
+        p.edge_weights = false;
+    }
+    p
+}
+
+/// Homogenizes the aspects of `inst` that are frozen for the pair: speeds
+/// and/or (finite) links set to 1, per Section VI's initialization.
+pub fn homogenize_for_pair(inst: &mut Instance, a: &str, b: &str) {
+    if fixed_node_weights(a) || fixed_node_weights(b) {
+        for v in 0..inst.network.node_count() as u32 {
+            inst.network.set_speed(NodeId(v), 1.0);
+        }
+    }
+    if fixed_link_weights(a) || fixed_link_weights(b) {
+        let n = inst.network.node_count() as u32;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if inst.network.link(NodeId(u), NodeId(v)).is_finite() {
+                    inst.network.set_link(NodeId(u), NodeId(v), 1.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perturb::{initial_instance, Perturber};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_restriction_table() {
+        for s in ["ETF", "FCP", "FLB"] {
+            assert!(fixed_node_weights(s), "{s}");
+        }
+        for s in ["BIL", "GDL", "FCP", "FLB"] {
+            assert!(fixed_link_weights(s), "{s}");
+        }
+        for s in ["HEFT", "CPoP", "MinMin", "MaxMin", "WBA", "OLB", "MCT", "MET", "Duplex", "FastestNode"] {
+            assert!(!fixed_node_weights(s), "{s}");
+            assert!(!fixed_link_weights(s), "{s}");
+        }
+    }
+
+    #[test]
+    fn restricted_pair_never_perturbs_frozen_aspects() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut inst = initial_instance(&mut rng);
+        homogenize_for_pair(&mut inst, "ETF", "BIL");
+        let p = restrict_for_pair(GeneralPerturber::default(), "ETF", "BIL");
+        for _ in 0..500 {
+            p.perturb(&mut inst, &mut rng);
+        }
+        for v in inst.network.nodes() {
+            assert_eq!(inst.network.speed(v), 1.0);
+            for u in inst.network.nodes() {
+                if u != v {
+                    assert_eq!(inst.network.link(u, v), 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unrestricted_pair_keeps_all_ops() {
+        let p = restrict_for_pair(GeneralPerturber::default(), "HEFT", "CPoP");
+        assert!(p.node_weights && p.edge_weights);
+    }
+
+    #[test]
+    fn one_sided_restriction_applies_to_the_pair() {
+        let p = restrict_for_pair(GeneralPerturber::default(), "HEFT", "FCP");
+        assert!(!p.node_weights);
+        assert!(!p.edge_weights);
+        let p = restrict_for_pair(GeneralPerturber::default(), "GDL", "HEFT");
+        assert!(p.node_weights);
+        assert!(!p.edge_weights);
+    }
+
+    #[test]
+    fn homogenize_sets_unit_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut inst = initial_instance(&mut rng);
+        homogenize_for_pair(&mut inst, "FLB", "HEFT");
+        for v in inst.network.nodes() {
+            assert_eq!(inst.network.speed(v), 1.0);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! A library of published adversarial instances — the paper's future-work
+//! plan "to develop a framework for publishing the problem instances
+//! identified by PISA so that other researchers can use them to evaluate
+//! their own algorithms".
+//!
+//! Witnesses serialize to JSON-lines; a new scheduler can be scored against
+//! every stored witness without re-running the (comparatively expensive)
+//! annealing search.
+
+use crate::makespan_ratio;
+use saga_core::Instance;
+use saga_schedulers::Scheduler;
+use serde::{Deserialize, Serialize};
+
+/// One published adversarial instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WitnessRecord {
+    /// Scheduler whose weakness the instance exhibits.
+    pub target: String,
+    /// Baseline it was compared against.
+    pub baseline: String,
+    /// Recorded makespan ratio; `None` encodes an unbounded (`> 1000`) cell.
+    pub ratio: Option<f64>,
+    /// The instance, in [`Instance::to_json`] form (JSON-safe infinities).
+    pub instance: serde_json::Value,
+}
+
+impl WitnessRecord {
+    /// Builds a record from a found instance.
+    pub fn new(target: &str, baseline: &str, ratio: f64, inst: &Instance) -> Self {
+        WitnessRecord {
+            target: target.to_string(),
+            baseline: baseline.to_string(),
+            ratio: ratio.is_finite().then_some(ratio),
+            instance: serde_json::from_str(&inst.to_json()).expect("instance JSON is valid"),
+        }
+    }
+
+    /// Decodes the stored instance.
+    pub fn instance(&self) -> Instance {
+        Instance::from_json(&self.instance.to_string()).expect("stored instance is valid")
+    }
+
+    /// The recorded ratio as an `f64` (`inf` for unbounded).
+    pub fn ratio_value(&self) -> f64 {
+        self.ratio.unwrap_or(f64::INFINITY)
+    }
+}
+
+/// A collection of witnesses with JSONL persistence.
+#[derive(Debug, Clone, Default)]
+pub struct WitnessLibrary {
+    /// The stored records.
+    pub records: Vec<WitnessRecord>,
+}
+
+impl WitnessLibrary {
+    /// Collects every off-diagonal witness of a pairwise matrix.
+    pub fn from_matrix(m: &crate::PairwiseMatrix) -> Self {
+        let n = m.names.len();
+        let mut records = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if let Some(inst) = &m.witnesses[i][j] {
+                    records.push(WitnessRecord::new(
+                        &m.names[j],
+                        &m.names[i],
+                        m.ratios[i][j],
+                        inst,
+                    ));
+                }
+            }
+        }
+        WitnessLibrary { records }
+    }
+
+    /// Serializes to JSON lines.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&serde_json::to_string(r).expect("record serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses JSON lines (blank lines ignored).
+    pub fn from_jsonl(s: &str) -> Result<Self, serde_json::Error> {
+        let mut records = Vec::new();
+        for line in s.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            records.push(serde_json::from_str(line)?);
+        }
+        Ok(WitnessLibrary { records })
+    }
+
+    /// Re-checks every stored ratio by re-running both schedulers; returns
+    /// the number of mismatches (0 for a healthy library).
+    pub fn revalidate(&self) -> usize {
+        let mut bad = 0;
+        for r in &self.records {
+            let (Some(t), Some(b)) = (
+                saga_schedulers::by_name(&r.target),
+                saga_schedulers::by_name(&r.baseline),
+            ) else {
+                bad += 1;
+                continue;
+            };
+            let inst = r.instance();
+            let ratio = makespan_ratio(
+                t.schedule(&inst).makespan(),
+                b.schedule(&inst).makespan(),
+            );
+            let recorded = r.ratio_value();
+            let matches = (ratio.is_infinite() && recorded.is_infinite())
+                || (ratio - recorded).abs() <= 1e-6 * recorded.abs().max(1.0);
+            if !matches {
+                bad += 1;
+            }
+        }
+        bad
+    }
+
+    /// Scores a (possibly new) scheduler against every witness: for each
+    /// record, the candidate's makespan ratio against the record's baseline
+    /// on the stored instance. Returns `(target, baseline, stored, candidate)`
+    /// rows — "would the new scheduler fall into the same traps?".
+    pub fn evaluate(&self, candidate: &dyn Scheduler) -> Vec<(String, String, f64, f64)> {
+        self.records
+            .iter()
+            .filter_map(|r| {
+                let baseline = saga_schedulers::by_name(&r.baseline)?;
+                let inst = r.instance();
+                let ratio = makespan_ratio(
+                    candidate.schedule(&inst).makespan(),
+                    baseline.schedule(&inst).makespan(),
+                );
+                Some((
+                    r.target.clone(),
+                    r.baseline.clone(),
+                    r.ratio_value(),
+                    ratio,
+                ))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annealer::PisaConfig;
+    use crate::pairwise_matrix;
+    use saga_schedulers::Scheduler;
+
+    fn small_library() -> WitnessLibrary {
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(saga_schedulers::Heft),
+            Box::new(saga_schedulers::FastestNode),
+        ];
+        let m = pairwise_matrix(
+            &schedulers,
+            PisaConfig {
+                i_max: 80,
+                restarts: 1,
+                seed: 77,
+                ..PisaConfig::default()
+            },
+        );
+        WitnessLibrary::from_matrix(&m)
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let lib = small_library();
+        assert_eq!(lib.records.len(), 2);
+        let text = lib.to_jsonl();
+        let back = WitnessLibrary::from_jsonl(&text).unwrap();
+        assert_eq!(back.records.len(), 2);
+        for (a, b) in lib.records.iter().zip(&back.records) {
+            assert_eq!(a.target, b.target);
+            assert_eq!(a.ratio, b.ratio);
+            assert_eq!(a.instance().to_json(), b.instance().to_json());
+        }
+    }
+
+    #[test]
+    fn revalidation_passes_for_fresh_library() {
+        let lib = small_library();
+        assert_eq!(lib.revalidate(), 0);
+    }
+
+    #[test]
+    fn evaluate_scores_candidates() {
+        let lib = small_library();
+        let rows = lib.evaluate(&saga_schedulers::Cpop);
+        assert_eq!(rows.len(), lib.records.len());
+        for (_, _, stored, candidate) in rows {
+            assert!(stored > 0.0);
+            assert!(candidate >= 0.0);
+        }
+    }
+
+    #[test]
+    fn unbounded_ratio_round_trips_as_none() {
+        let mut g = saga_core::TaskGraph::new();
+        g.add_task("a", 1.0);
+        let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0], 1.0), g);
+        let r = WitnessRecord::new("HEFT", "CPoP", f64::INFINITY, &inst);
+        assert!(r.ratio.is_none());
+        let line = serde_json::to_string(&r).unwrap();
+        let back: WitnessRecord = serde_json::from_str(&line).unwrap();
+        assert!(back.ratio_value().is_infinite());
+    }
+}

@@ -1,0 +1,187 @@
+//! Adversarial comparison under metrics other than makespan — the paper's
+//! future-work direction "other performance metrics (e.g., throughput,
+//! energy consumption, cost)". Each objective is a ratio
+//! `metric(target's schedule) / metric(baseline's schedule)` (inverted for
+//! throughput, where larger is better), pluggable into the
+//! [`maximize`](crate::annealer::maximize()) generic annealer.
+
+use crate::annealer::{maximize, PisaConfig, PisaResult};
+use crate::makespan_ratio;
+use crate::perturb::Perturber;
+use rand::rngs::StdRng;
+use saga_core::metrics::{energy, rental_cost, throughput, EnergyModel};
+use saga_core::Instance;
+use saga_schedulers::Scheduler;
+
+/// The schedule-quality metric being compared adversarially.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Total execution time (the paper's headline metric).
+    Makespan,
+    /// Energy under a speed-proportional power model with the given idle
+    /// fraction and per-unit communication energy.
+    Energy {
+        /// Idle power as a fraction of active power.
+        idle_fraction: f64,
+        /// Joules per data unit moved across nodes.
+        comm_energy_per_unit: f64,
+    },
+    /// Rental cost with price proportional to node speed (fast nodes cost
+    /// proportionally more per unit time).
+    RentalCost,
+    /// Task throughput; the adversarial ratio is inverted
+    /// (`baseline / target`) because larger throughput is better.
+    Throughput,
+}
+
+impl Objective {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Makespan => "makespan",
+            Objective::Energy { .. } => "energy",
+            Objective::RentalCost => "cost",
+            Objective::Throughput => "throughput",
+        }
+    }
+
+    /// Evaluates the metric of `sched` on `inst` (lower is better for every
+    /// variant except `Throughput`).
+    pub fn evaluate(self, inst: &Instance, sched: &saga_core::Schedule) -> f64 {
+        match self {
+            Objective::Makespan => sched.makespan(),
+            Objective::Energy {
+                idle_fraction,
+                comm_energy_per_unit,
+            } => {
+                let model =
+                    EnergyModel::speed_proportional(inst, idle_fraction, comm_energy_per_unit);
+                energy(inst, sched, &model)
+            }
+            Objective::RentalCost => {
+                let price: Vec<f64> = inst.network.speeds().to_vec();
+                rental_cost(inst, sched, &price)
+            }
+            Objective::Throughput => throughput(inst, sched),
+        }
+    }
+
+    /// The adversarial ratio of `target` against `baseline` on `inst` under
+    /// this metric (always "how much worse is the target", > 1 is worse).
+    pub fn ratio(
+        self,
+        target: &dyn Scheduler,
+        baseline: &dyn Scheduler,
+        inst: &Instance,
+    ) -> f64 {
+        let ts = target.schedule(inst);
+        let bs = baseline.schedule(inst);
+        let (a, b) = match self {
+            // larger throughput is better: invert
+            Objective::Throughput => (self.evaluate(inst, &bs), self.evaluate(inst, &ts)),
+            _ => (self.evaluate(inst, &ts), self.evaluate(inst, &bs)),
+        };
+        makespan_ratio(a, b)
+    }
+}
+
+/// Runs the PISA annealing schedule maximizing the metric ratio of `target`
+/// against `baseline`.
+pub fn metric_search(
+    objective: Objective,
+    target: &dyn Scheduler,
+    baseline: &dyn Scheduler,
+    perturber: &dyn Perturber,
+    config: PisaConfig,
+    init: &dyn Fn(&mut StdRng) -> Instance,
+) -> PisaResult {
+    maximize(
+        &|inst| objective.ratio(target, baseline, inst),
+        perturber,
+        config,
+        init,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perturb::{initial_instance, GeneralPerturber};
+    use rand::SeedableRng;
+    use saga_schedulers::{FastestNode, Heft};
+
+    const ENERGY: Objective = Objective::Energy {
+        idle_fraction: 0.2,
+        comm_energy_per_unit: 1.0,
+    };
+
+    #[test]
+    fn objective_names() {
+        assert_eq!(Objective::Makespan.name(), "makespan");
+        assert_eq!(ENERGY.name(), "energy");
+        assert_eq!(Objective::RentalCost.name(), "cost");
+        assert_eq!(Objective::Throughput.name(), "throughput");
+    }
+
+    #[test]
+    fn makespan_objective_matches_pisa_ratio() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let inst = initial_instance(&mut rng);
+        let via_metric = Objective::Makespan.ratio(&Heft, &FastestNode, &inst);
+        let perturber = GeneralPerturber::default();
+        let pisa = crate::Pisa {
+            target: &Heft,
+            baseline: &FastestNode,
+            perturber: &perturber,
+            config: PisaConfig::default(),
+        };
+        assert_eq!(via_metric, pisa.ratio(&inst));
+    }
+
+    #[test]
+    fn throughput_ratio_is_inverted_consistently() {
+        // identical schedulers => ratio exactly 1 under every objective
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = initial_instance(&mut rng);
+        for obj in [Objective::Makespan, ENERGY, Objective::RentalCost, Objective::Throughput] {
+            let r = obj.ratio(&Heft, &Heft, &inst);
+            assert!((r - 1.0).abs() < 1e-12, "{}: {r}", obj.name());
+        }
+    }
+
+    #[test]
+    fn energy_search_finds_wasteful_instances_for_heft() {
+        // FastestNode keeps one node busy and the rest idle-only; HEFT
+        // spreads work and pays communication energy — an adversarial
+        // energy gap must exist
+        let perturber = GeneralPerturber::default();
+        let res = metric_search(
+            ENERGY,
+            &Heft,
+            &FastestNode,
+            &perturber,
+            PisaConfig {
+                i_max: 200,
+                restarts: 2,
+                seed: 3,
+                ..PisaConfig::default()
+            },
+            &|rng| initial_instance(rng),
+        );
+        assert!(res.ratio > 1.0, "no energy-adversarial instance: {}", res.ratio);
+    }
+
+    #[test]
+    fn metric_search_is_deterministic() {
+        let perturber = GeneralPerturber::default();
+        let cfg = PisaConfig {
+            i_max: 100,
+            restarts: 1,
+            seed: 5,
+            ..PisaConfig::default()
+        };
+        let a = metric_search(Objective::RentalCost, &Heft, &FastestNode, &perturber, cfg, &|r| initial_instance(r));
+        let b = metric_search(Objective::RentalCost, &Heft, &FastestNode, &perturber, cfg, &|r| initial_instance(r));
+        assert_eq!(a.ratio, b.ratio);
+    }
+}

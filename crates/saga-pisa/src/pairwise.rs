@@ -1,0 +1,182 @@
+//! The all-pairs adversarial comparison behind the paper's Fig. 4.
+//!
+//! For every ordered pair `(baseline i, target j)`, run PISA to find the
+//! instance maximizing `m_j / m_i`. Pairs are independent, so they fan out
+//! across cores with rayon (the matrix is 15×15 with 5 restarts each — over
+//! a thousand annealing runs).
+
+use crate::annealer::{Pisa, PisaConfig};
+use crate::constraints;
+use crate::perturb::{initial_instance, GeneralPerturber};
+use rayon::prelude::*;
+use saga_core::Instance;
+use saga_schedulers::Scheduler;
+
+/// The Fig. 4 result matrix.
+pub struct PairwiseMatrix {
+    /// Scheduler names, in both row and column order.
+    pub names: Vec<String>,
+    /// `ratios[i][j]`: worst-case ratio of scheduler `j` (target) against
+    /// scheduler `i` (baseline); `1.0` on the diagonal by construction.
+    pub ratios: Vec<Vec<f64>>,
+    /// The instance realizing each off-diagonal cell.
+    pub witnesses: Vec<Vec<Option<Instance>>>,
+}
+
+impl PairwiseMatrix {
+    /// Column-wise maxima — the paper's "Worst" row: the worst case found
+    /// for scheduler `j` against *any* baseline.
+    pub fn worst_row(&self) -> Vec<f64> {
+        let n = self.names.len();
+        (0..n)
+            .map(|j| {
+                (0..n)
+                    .map(|i| self.ratios[i][j])
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect()
+    }
+
+    /// Formats a cell the way the paper's heatmaps do: `> 1000` for blowups,
+    /// `> 5.0` for large-but-bounded cells, otherwise two decimals.
+    pub fn format_cell(r: f64) -> String {
+        if r.is_infinite() || r > 1000.0 {
+            "> 1000".to_string()
+        } else if r > 5.0 {
+            "> 5.0".to_string()
+        } else {
+            format!("{r:.2}")
+        }
+    }
+}
+
+/// Runs PISA for every ordered pair of `schedulers` and assembles the
+/// Fig. 4 matrix. `config.seed` is combined with the pair index so every
+/// cell gets an independent, reproducible stream.
+pub fn pairwise_matrix(schedulers: &[Box<dyn Scheduler>], config: PisaConfig) -> PairwiseMatrix {
+    let names: Vec<String> = schedulers.iter().map(|s| s.name().to_string()).collect();
+    let n = schedulers.len();
+    let cells: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (0..n).map(move |j| (i, j)))
+        .filter(|&(i, j)| i != j)
+        .collect();
+    let results: Vec<((usize, usize), (f64, Instance))> = cells
+        .par_iter()
+        .map(|&(i, j)| {
+            let baseline = &*schedulers[i];
+            let target = &*schedulers[j];
+            let perturber = constraints::restrict_for_pair(
+                GeneralPerturber::default(),
+                target.name(),
+                baseline.name(),
+            );
+            let pisa = Pisa {
+                target,
+                baseline,
+                perturber: &perturber,
+                config: PisaConfig {
+                    seed: config
+                        .seed
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add((i * n + j) as u64),
+                    ..config
+                },
+            };
+            let tname = target.name().to_string();
+            let bname = baseline.name().to_string();
+            let res = pisa.run(&move |rng| {
+                let mut inst = initial_instance(rng);
+                constraints::homogenize_for_pair(&mut inst, &tname, &bname);
+                inst
+            });
+            ((i, j), (res.ratio, res.instance))
+        })
+        .collect();
+
+    let mut ratios = vec![vec![1.0f64; n]; n];
+    let mut witnesses: Vec<Vec<Option<Instance>>> = (0..n).map(|_| vec![None; n]).collect();
+    for ((i, j), (r, inst)) in results {
+        ratios[i][j] = r;
+        witnesses[i][j] = Some(inst);
+    }
+    PairwiseMatrix {
+        names,
+        ratios,
+        witnesses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_schedulers::{Cpop, FastestNode, Heft};
+
+    fn tiny_config() -> PisaConfig {
+        PisaConfig {
+            restarts: 1,
+            i_max: 120,
+            seed: 7,
+            ..PisaConfig::default()
+        }
+    }
+
+    #[test]
+    fn matrix_shape_and_diagonal() {
+        let schedulers: Vec<Box<dyn Scheduler>> =
+            vec![Box::new(Heft), Box::new(Cpop), Box::new(FastestNode)];
+        let m = pairwise_matrix(&schedulers, tiny_config());
+        assert_eq!(m.names, vec!["HEFT", "CPoP", "FastestNode"]);
+        assert_eq!(m.ratios.len(), 3);
+        for i in 0..3 {
+            assert_eq!(m.ratios[i][i], 1.0);
+            assert!(m.witnesses[i][i].is_none());
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert!(m.ratios[i][j] >= 0.0);
+                    assert!(m.witnesses[i][j].is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worst_row_is_columnwise_max() {
+        let m = PairwiseMatrix {
+            names: vec!["a".into(), "b".into()],
+            ratios: vec![vec![1.0, 3.0], vec![2.0, 1.0]],
+            witnesses: vec![vec![None, None], vec![None, None]],
+        };
+        assert_eq!(m.worst_row(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn format_cell_matches_paper_buckets() {
+        assert_eq!(PairwiseMatrix::format_cell(1.234), "1.23");
+        assert_eq!(PairwiseMatrix::format_cell(7.0), "> 5.0");
+        assert_eq!(PairwiseMatrix::format_cell(f64::INFINITY), "> 1000");
+        assert_eq!(PairwiseMatrix::format_cell(5000.0), "> 1000");
+    }
+
+    #[test]
+    fn adversarial_cells_usually_exceed_one() {
+        // even a tiny budget finds >1 ratios for most pairs among these
+        let schedulers: Vec<Box<dyn Scheduler>> =
+            vec![Box::new(Heft), Box::new(Cpop), Box::new(FastestNode)];
+        let m = pairwise_matrix(&schedulers, tiny_config());
+        let mut above_one = 0;
+        let mut total = 0;
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    total += 1;
+                    if m.ratios[i][j] > 1.0 {
+                        above_one += 1;
+                    }
+                }
+            }
+        }
+        assert!(above_one * 2 >= total, "{above_one}/{total} cells above 1.0");
+    }
+}

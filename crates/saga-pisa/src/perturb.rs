@@ -1,0 +1,411 @@
+//! The PISA perturbation operators.
+//!
+//! Section VI defines six equal-probability perturbations over `(N, G)`:
+//! nudge a network node weight, a network edge weight, a task weight, or a
+//! dependency weight by `U(-1/10, +1/10)` clipped into `[0, 1]`; add a
+//! random acyclic dependency; or remove a random dependency. Section VII
+//! re-scales the weight nudges to the ranges observed in real execution
+//! traces and removes the structural and network-edge operators so the
+//! search stays within rigid, application-shaped instances.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use saga_core::{Instance, NodeId, TaskId};
+
+/// A mutation strategy over problem instances.
+pub trait Perturber: Send + Sync {
+    /// Mutates `inst` in place using `rng`.
+    fn perturb(&self, inst: &mut Instance, rng: &mut StdRng);
+}
+
+/// Inclusive weight bounds plus the nudge magnitude derived from them
+/// (one tenth of the range, matching the paper's `±1/10` on `[0, 1]`).
+#[derive(Debug, Clone, Copy)]
+pub struct WeightRange {
+    /// Smallest allowed weight.
+    pub lo: f64,
+    /// Largest allowed weight.
+    pub hi: f64,
+}
+
+impl WeightRange {
+    /// The paper's default `[0, 1]` range.
+    pub const UNIT: WeightRange = WeightRange { lo: 0.0, hi: 1.0 };
+
+    /// Builds a range, normalizing inverted bounds.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        if lo <= hi {
+            WeightRange { lo, hi }
+        } else {
+            WeightRange { lo: hi, hi: lo }
+        }
+    }
+
+    fn nudge(&self, rng: &mut StdRng, w: f64) -> f64 {
+        let delta = (self.hi - self.lo) / 10.0;
+        (w + rng.gen_range(-delta..=delta)).clamp(self.lo, self.hi)
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+/// The configurable general perturber of Section VI.
+///
+/// Each enabled operator is drawn with equal probability; a drawn operator
+/// that cannot apply (e.g. *remove dependency* on an edgeless graph) falls
+/// through to the next applicable one so a perturbation step never silently
+/// no-ops unless *nothing* is applicable.
+#[derive(Debug, Clone)]
+pub struct GeneralPerturber {
+    /// Allow nudging node compute speeds.
+    pub node_weights: bool,
+    /// Allow nudging network link strengths.
+    pub edge_weights: bool,
+    /// Allow nudging task compute costs.
+    pub task_weights: bool,
+    /// Allow nudging dependency data sizes.
+    pub dependency_weights: bool,
+    /// Allow adding acyclic dependencies.
+    pub add_dependency: bool,
+    /// Allow removing dependencies.
+    pub remove_dependency: bool,
+    /// Bounds for node speeds.
+    pub node_range: WeightRange,
+    /// Bounds for link strengths.
+    pub link_range: WeightRange,
+    /// Bounds for task costs.
+    pub task_range: WeightRange,
+    /// Bounds for dependency sizes.
+    pub dep_range: WeightRange,
+}
+
+impl Default for GeneralPerturber {
+    fn default() -> Self {
+        GeneralPerturber {
+            node_weights: true,
+            edge_weights: true,
+            task_weights: true,
+            dependency_weights: true,
+            add_dependency: true,
+            remove_dependency: true,
+            node_range: WeightRange::UNIT,
+            link_range: WeightRange::UNIT,
+            task_range: WeightRange::UNIT,
+            dep_range: WeightRange::UNIT,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Op {
+    NodeWeight,
+    EdgeWeight,
+    TaskWeight,
+    DepWeight,
+    AddDep,
+    RemoveDep,
+}
+
+impl GeneralPerturber {
+    fn enabled_ops(&self) -> Vec<Op> {
+        let mut ops = Vec::with_capacity(6);
+        if self.node_weights {
+            ops.push(Op::NodeWeight);
+        }
+        if self.edge_weights {
+            ops.push(Op::EdgeWeight);
+        }
+        if self.task_weights {
+            ops.push(Op::TaskWeight);
+        }
+        if self.dependency_weights {
+            ops.push(Op::DepWeight);
+        }
+        if self.add_dependency {
+            ops.push(Op::AddDep);
+        }
+        if self.remove_dependency {
+            ops.push(Op::RemoveDep);
+        }
+        ops
+    }
+
+    fn apply(&self, op: Op, inst: &mut Instance, rng: &mut StdRng) -> bool {
+        match op {
+            Op::NodeWeight => {
+                let n = inst.network.node_count();
+                if n == 0 {
+                    return false;
+                }
+                let v = NodeId(rng.gen_range(0..n as u32));
+                let w = self.node_range.nudge(rng, inst.network.speed(v));
+                inst.network.set_speed(v, w);
+                true
+            }
+            Op::EdgeWeight => {
+                let n = inst.network.node_count();
+                if n < 2 {
+                    return false;
+                }
+                let u = rng.gen_range(0..n as u32);
+                let mut v = rng.gen_range(0..n as u32 - 1);
+                if v >= u {
+                    v += 1;
+                }
+                let (u, v) = (NodeId(u), NodeId(v));
+                let cur = inst.network.link(u, v);
+                // infinite links (shared filesystems) are a modeling
+                // constant, not a weight — leave them alone
+                if cur.is_infinite() {
+                    return false;
+                }
+                inst.network.set_link(u, v, self.link_range.nudge(rng, cur));
+                true
+            }
+            Op::TaskWeight => {
+                let n = inst.graph.task_count();
+                if n == 0 {
+                    return false;
+                }
+                let t = TaskId(rng.gen_range(0..n as u32));
+                let w = self.task_range.nudge(rng, inst.graph.cost(t));
+                inst.graph.set_cost(t, w).expect("in-range cost");
+                true
+            }
+            Op::DepWeight => {
+                let deps: Vec<(TaskId, TaskId)> = inst
+                    .graph
+                    .dependencies()
+                    .map(|(a, b, _)| (a, b))
+                    .collect();
+                if deps.is_empty() {
+                    return false;
+                }
+                let (a, b) = deps[rng.gen_range(0..deps.len())];
+                let cur = inst.graph.dependency_cost(a, b).expect("listed dep");
+                let w = self.dep_range.nudge(rng, cur);
+                inst.graph.set_dependency_cost(a, b, w).expect("in-range cost");
+                true
+            }
+            Op::AddDep => {
+                let n = inst.graph.task_count();
+                if n < 2 {
+                    return false;
+                }
+                // up to a handful of attempts to find an acyclic non-edge
+                for _ in 0..8 {
+                    let t = TaskId(rng.gen_range(0..n as u32));
+                    let mut u = rng.gen_range(0..n as u32 - 1);
+                    if u >= t.0 {
+                        u += 1;
+                    }
+                    let u = TaskId(u);
+                    if inst.graph.has_dependency(t, u) || inst.graph.reaches(u, t) {
+                        continue;
+                    }
+                    let w = self.dep_range.sample(rng);
+                    inst.graph.add_dependency(t, u, w).expect("checked acyclic");
+                    return true;
+                }
+                false
+            }
+            Op::RemoveDep => {
+                let deps: Vec<(TaskId, TaskId)> = inst
+                    .graph
+                    .dependencies()
+                    .map(|(a, b, _)| (a, b))
+                    .collect();
+                if deps.is_empty() {
+                    return false;
+                }
+                let (a, b) = deps[rng.gen_range(0..deps.len())];
+                inst.graph.remove_dependency(a, b).expect("listed dep");
+                true
+            }
+        }
+    }
+}
+
+impl Perturber for GeneralPerturber {
+    fn perturb(&self, inst: &mut Instance, rng: &mut StdRng) {
+        let ops = self.enabled_ops();
+        if ops.is_empty() {
+            return;
+        }
+        let start = rng.gen_range(0..ops.len());
+        // equal-probability draw, falling through to the next applicable op
+        for k in 0..ops.len() {
+            if self.apply(ops[(start + k) % ops.len()], inst, rng) {
+                return;
+            }
+        }
+    }
+}
+
+/// Samples the Section VI initial instance: a complete network of 3–5 nodes
+/// with `U(0, 1)` speeds and link strengths, and a chain task graph of 3–5
+/// tasks with `U(0, 1)` costs and dependency sizes.
+pub fn initial_instance(rng: &mut StdRng) -> Instance {
+    use saga_core::{Network, TaskGraph};
+    let nodes = rng.gen_range(3..=5usize);
+    let speeds: Vec<f64> = (0..nodes).map(|_| rng.gen::<f64>()).collect();
+    let mut net = Network::complete(&speeds, 1.0);
+    for u in 0..nodes as u32 {
+        for v in (u + 1)..nodes as u32 {
+            net.set_link(NodeId(u), NodeId(v), rng.gen::<f64>());
+        }
+    }
+    let tasks = rng.gen_range(3..=5usize);
+    let costs: Vec<f64> = (0..tasks).map(|_| rng.gen::<f64>()).collect();
+    let deps: Vec<f64> = (0..tasks - 1).map(|_| rng.gen::<f64>()).collect();
+    let g = TaskGraph::chain(&costs, &deps);
+    Instance::new(net, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn seeded() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn initial_instance_matches_section_vi() {
+        let mut rng = seeded();
+        for _ in 0..20 {
+            let inst = initial_instance(&mut rng);
+            assert!((3..=5).contains(&inst.network.node_count()));
+            assert!((3..=5).contains(&inst.graph.task_count()));
+            // chain: exactly n-1 dependencies
+            assert_eq!(inst.graph.dependency_count(), inst.graph.task_count() - 1);
+            for v in inst.network.nodes() {
+                assert!((0.0..=1.0).contains(&inst.network.speed(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn perturbations_keep_weights_in_range() {
+        let mut rng = seeded();
+        let mut inst = initial_instance(&mut rng);
+        let p = GeneralPerturber::default();
+        for _ in 0..2000 {
+            p.perturb(&mut inst, &mut rng);
+        }
+        for v in inst.network.nodes() {
+            assert!((0.0..=1.0).contains(&inst.network.speed(v)));
+            for u in inst.network.nodes() {
+                if u != v {
+                    assert!((0.0..=1.0).contains(&inst.network.link(u, v)));
+                }
+            }
+        }
+        for t in inst.graph.tasks() {
+            assert!((0.0..=1.0).contains(&inst.graph.cost(t)));
+        }
+        for (_, _, c) in inst.graph.dependencies() {
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn perturbations_preserve_acyclicity() {
+        let mut rng = seeded();
+        let mut inst = initial_instance(&mut rng);
+        let p = GeneralPerturber::default();
+        for _ in 0..2000 {
+            p.perturb(&mut inst, &mut rng);
+            assert_eq!(
+                inst.graph.topological_order().len(),
+                inst.graph.task_count()
+            );
+        }
+    }
+
+    #[test]
+    fn structure_preserving_config_never_changes_topology() {
+        let mut rng = seeded();
+        let mut inst = initial_instance(&mut rng);
+        let before: Vec<_> = inst.graph.dependencies().map(|(a, b, _)| (a, b)).collect();
+        let p = GeneralPerturber {
+            add_dependency: false,
+            remove_dependency: false,
+            edge_weights: false,
+            ..GeneralPerturber::default()
+        };
+        for _ in 0..500 {
+            p.perturb(&mut inst, &mut rng);
+        }
+        let after: Vec<_> = inst.graph.dependencies().map(|(a, b, _)| (a, b)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn disabled_node_weights_stay_fixed() {
+        let mut rng = seeded();
+        let mut inst = initial_instance(&mut rng);
+        let speeds = inst.network.speeds().to_vec();
+        let p = GeneralPerturber {
+            node_weights: false,
+            ..GeneralPerturber::default()
+        };
+        for _ in 0..500 {
+            p.perturb(&mut inst, &mut rng);
+        }
+        assert_eq!(inst.network.speeds(), &speeds[..]);
+    }
+
+    #[test]
+    fn infinite_links_are_never_touched() {
+        use saga_core::{Network, TaskGraph};
+        let mut rng = seeded();
+        let g = TaskGraph::chain(&[0.5, 0.5], &[0.5]);
+        let mut inst = Instance::new(Network::complete(&[0.5, 0.5], f64::INFINITY), g);
+        let p = GeneralPerturber::default();
+        for _ in 0..500 {
+            p.perturb(&mut inst, &mut rng);
+        }
+        for u in inst.network.nodes() {
+            for v in inst.network.nodes() {
+                assert!(inst.network.link(u, v).is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_ranges_clamp_to_trace_bounds() {
+        let mut rng = seeded();
+        let mut inst = initial_instance(&mut rng);
+        // pretend trace bounds: runtimes in [5, 600]
+        let task_ids: Vec<_> = inst.graph.tasks().collect();
+        for t in task_ids {
+            inst.graph.set_cost(t, 300.0).unwrap();
+        }
+        let p = GeneralPerturber {
+            node_weights: false,
+            edge_weights: false,
+            dependency_weights: false,
+            add_dependency: false,
+            remove_dependency: false,
+            task_range: WeightRange::new(5.0, 600.0),
+            ..GeneralPerturber::default()
+        };
+        for _ in 0..1000 {
+            p.perturb(&mut inst, &mut rng);
+        }
+        for t in inst.graph.tasks() {
+            let c = inst.graph.cost(t);
+            assert!((5.0..=600.0).contains(&c), "cost {c}");
+        }
+    }
+
+    #[test]
+    fn weight_range_normalizes_inverted_bounds() {
+        let r = WeightRange::new(5.0, 1.0);
+        assert_eq!((r.lo, r.hi), (1.0, 5.0));
+    }
+}

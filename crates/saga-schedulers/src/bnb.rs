@@ -1,0 +1,192 @@
+//! BnbSearch — binary search over the makespan with a branch-and-bound
+//! feasibility oracle. **Substitute for the paper's SMT scheduler.**
+//!
+//! SAGA's `SMT` scheduler asks an SMT solver whether a schedule with
+//! makespan `<= M` exists and binary-searches `M` to a `(1 + eps)`-optimal
+//! schedule. No SMT solver is available offline, so the decision oracle here
+//! is a depth-first search over (ready task, node) decisions that prunes any
+//! partial schedule already exceeding `M` — same interface, same role
+//! (an exponential-time reference answer), different engine. Documented in
+//! DESIGN.md under substitutions.
+
+use crate::Scheduler;
+use saga_core::{ranking, Schedule, ScheduleBuilder};
+use saga_core::Instance;
+
+/// The (1+eps)-optimal binary-search scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct BnbSearch {
+    /// Relative gap at which the binary search stops.
+    pub epsilon: f64,
+    /// Safety cap on oracle states per feasibility query; a capped query is
+    /// treated as infeasible (the result stays a valid upper bound).
+    pub max_states: u64,
+}
+
+impl Default for BnbSearch {
+    fn default() -> Self {
+        BnbSearch {
+            epsilon: 0.01,
+            max_states: 500_000,
+        }
+    }
+}
+
+struct Oracle<'a> {
+    inst: &'a Instance,
+    bound: f64,
+    states: u64,
+    max_states: u64,
+    found: Option<Schedule>,
+}
+
+impl Oracle<'_> {
+    fn dfs(&mut self, b: &ScheduleBuilder<'_>) -> bool {
+        if self.found.is_some() || self.states >= self.max_states {
+            return self.found.is_some();
+        }
+        self.states += 1;
+        if b.placed_count() == self.inst.graph.task_count() {
+            self.found = Some(b.clone().finish());
+            return true;
+        }
+        for t in self.inst.graph.tasks() {
+            if b.is_placed(t) || !b.is_ready(t) {
+                continue;
+            }
+            for v in self.inst.network.nodes() {
+                let (s, f) = b.eft(t, v, false);
+                if f > self.bound + 1e-12 * self.bound.abs().max(1.0) {
+                    continue;
+                }
+                let mut next = b.clone();
+                next.place(t, v, s);
+                if self.dfs(&next) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl BnbSearch {
+    /// A safe lower bound on the optimal makespan: the larger of (a) the
+    /// critical path executed entirely on the fastest node with free
+    /// communication and (b) the total work spread over all node speeds.
+    fn lower_bound(inst: &Instance) -> f64 {
+        let fastest = inst.network.speed(inst.network.fastest_node());
+        if fastest == 0.0 {
+            return 0.0;
+        }
+        // longest chain of task costs (no comm), over the fastest speed
+        let order = inst.graph.topological_order();
+        let mut chain = vec![0.0f64; inst.graph.task_count()];
+        for &t in order.iter().rev() {
+            let mut best = 0.0f64;
+            for e in inst.graph.successors(t) {
+                best = best.max(chain[e.task.index()]);
+            }
+            chain[t.index()] = inst.graph.cost(t) + best;
+        }
+        let cp = chain.iter().fold(0.0f64, |a, &b| a.max(b)) / fastest;
+        let total_speed: f64 = inst.network.speeds().iter().sum();
+        let area = if total_speed > 0.0 {
+            inst.graph.total_cost() / total_speed
+        } else {
+            0.0
+        };
+        cp.max(area)
+    }
+}
+
+impl Scheduler for BnbSearch {
+    fn name(&self) -> &'static str {
+        "BnB"
+    }
+
+    fn schedule(&self, inst: &Instance) -> Schedule {
+        // initial upper bound: best of the fast heuristics
+        let mut best = crate::Heft.schedule(inst);
+        for h in [
+            crate::FastestNode.schedule(inst),
+            crate::Cpop.schedule(inst),
+        ] {
+            if h.makespan() < best.makespan() {
+                best = h;
+            }
+        }
+        let mut ub = best.makespan();
+        if !ub.is_finite() {
+            return best; // nothing finite to search below
+        }
+        let mut lb = Self::lower_bound(inst);
+        let _ = ranking::critical_path(inst); // (kept: documents intent)
+        while ub - lb > self.epsilon * lb.max(1e-12) {
+            let mid = 0.5 * (lb + ub);
+            let mut oracle = Oracle {
+                inst,
+                bound: mid,
+                states: 0,
+                max_states: self.max_states,
+                found: None,
+            };
+            oracle.dfs(&ScheduleBuilder::new(inst));
+            match oracle.found {
+                Some(s) => {
+                    ub = s.makespan();
+                    best = s;
+                }
+                None => lb = mid,
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::fixtures;
+
+    #[test]
+    fn schedules_are_valid_on_small_instances() {
+        for inst in [fixtures::fig1(), fixtures::random_instance(3, 5, 2, 0.4)] {
+            let s = BnbSearch::default().schedule(&inst);
+            s.verify(&inst).expect("BnB schedule must be valid");
+        }
+    }
+
+    #[test]
+    fn close_to_brute_force_optimum() {
+        for seed in 0..4u64 {
+            let inst = fixtures::random_instance(seed, 5, 2, 0.4);
+            let opt = crate::BruteForce::default().schedule(&inst).makespan();
+            let bnb = BnbSearch::default().schedule(&inst).makespan();
+            assert!(
+                bnb <= opt * 1.02 + 1e-9,
+                "BnB {bnb} not within (1+eps) of OPT {opt} (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_a_true_lower_bound() {
+        for seed in 0..4u64 {
+            let inst = fixtures::random_instance(seed, 5, 2, 0.4);
+            let lb = BnbSearch::lower_bound(&inst);
+            let opt = crate::BruteForce::default().schedule(&inst).makespan();
+            assert!(lb <= opt + 1e-9, "LB {lb} above OPT {opt}");
+        }
+    }
+
+    #[test]
+    fn degenerate_zero_speed_network_returns_valid_schedule() {
+        let mut g = saga_core::TaskGraph::new();
+        g.add_task("a", 1.0);
+        let inst = saga_core::Instance::new(saga_core::Network::complete(&[0.0], 1.0), g);
+        let s = BnbSearch::default().schedule(&inst);
+        s.verify(&inst).unwrap();
+        assert!(s.makespan().is_infinite());
+    }
+}

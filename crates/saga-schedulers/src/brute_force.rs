@@ -1,0 +1,145 @@
+//! BruteForce — exhaustive search over list schedules.
+//!
+//! Depth-first search over every (ready task, node) decision sequence with
+//! earliest-feasible start times, pruned branch-and-bound style by the best
+//! makespan found so far. For a fixed assignment and processing order the
+//! earliest-start list schedule is optimal among schedules with that order,
+//! so this enumeration covers an optimal schedule. Exponential — the paper
+//! excludes it from benchmarking for exactly that reason; keep it to toy
+//! instances (≲ 8 tasks, ≲ 4 nodes).
+
+use crate::Scheduler;
+use saga_core::{Instance, Schedule, ScheduleBuilder};
+
+/// The exhaustive reference scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct BruteForce {
+    /// Safety cap on explored decision states; on overflow the best schedule
+    /// found so far is returned (still valid, possibly suboptimal).
+    pub max_states: u64,
+}
+
+impl Default for BruteForce {
+    fn default() -> Self {
+        BruteForce {
+            max_states: 2_000_000,
+        }
+    }
+}
+
+struct Search<'a> {
+    inst: &'a Instance,
+    best_makespan: f64,
+    best: Option<Schedule>,
+    states: u64,
+    max_states: u64,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, b: &ScheduleBuilder<'_>) {
+        if self.states >= self.max_states {
+            return;
+        }
+        self.states += 1;
+        let n = self.inst.graph.task_count();
+        if b.placed_count() == n {
+            let m = b.current_makespan();
+            if m < self.best_makespan || self.best.is_none() {
+                self.best_makespan = m;
+                self.best = Some(b.clone().finish());
+            }
+            return;
+        }
+        // prune: the partial makespan only grows
+        if b.current_makespan() >= self.best_makespan {
+            return;
+        }
+        for t in self.inst.graph.tasks() {
+            if b.is_placed(t) || !b.is_ready(t) {
+                continue;
+            }
+            for v in self.inst.network.nodes() {
+                let (s, f) = b.eft(t, v, false);
+                if f >= self.best_makespan && self.best.is_some() {
+                    continue;
+                }
+                let mut next = b.clone();
+                next.place(t, v, s);
+                self.dfs(&next);
+            }
+        }
+    }
+}
+
+impl Scheduler for BruteForce {
+    fn name(&self) -> &'static str {
+        "BruteForce"
+    }
+
+    fn schedule(&self, inst: &Instance) -> Schedule {
+        let mut search = Search {
+            inst,
+            best_makespan: f64::INFINITY,
+            best: None,
+            states: 0,
+            max_states: self.max_states,
+        };
+        search.dfs(&ScheduleBuilder::new(inst));
+        search.best.unwrap_or_else(|| {
+            // cap exhausted before any complete schedule (pathological cap):
+            // fall back to a valid heuristic schedule
+            crate::Heft.schedule(inst)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::fixtures;
+
+    #[test]
+    fn schedules_are_valid_on_small_instances() {
+        for inst in [
+            fixtures::fig1(),
+            fixtures::random_instance(1, 5, 2, 0.4),
+            fixtures::random_instance(2, 4, 3, 0.5),
+        ] {
+            let s = BruteForce::default().schedule(&inst);
+            s.verify(&inst).expect("BruteForce schedule must be valid");
+        }
+    }
+
+    #[test]
+    fn never_worse_than_any_heuristic() {
+        for seed in 0..4u64 {
+            let inst = fixtures::random_instance(seed, 5, 2, 0.4);
+            let opt = BruteForce::default().schedule(&inst).makespan();
+            for s in crate::benchmark_schedulers() {
+                let m = s.schedule(&inst).makespan();
+                assert!(
+                    opt <= m + 1e-9,
+                    "BruteForce {opt} worse than {} {m} (seed {seed})",
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn finds_known_optimum() {
+        // two unit tasks, two unit nodes, free comm: optimum is 1
+        let mut g = saga_core::TaskGraph::new();
+        g.add_task("a", 1.0);
+        g.add_task("b", 1.0);
+        let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0, 1.0], f64::INFINITY), g);
+        assert!((BruteForce::default().schedule(&inst).makespan() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_cap_still_returns_valid_schedule() {
+        let inst = fixtures::fig1();
+        let s = BruteForce { max_states: 1 }.schedule(&inst);
+        s.verify(&inst).unwrap();
+    }
+}

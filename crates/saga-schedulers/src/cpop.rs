@@ -1,0 +1,142 @@
+//! CPoP — Critical Path on Processor (Topcuoglu, Hariri & Wu 1999).
+//!
+//! Like HEFT a list scheduler, but (1) the priority of a task is the sum of
+//! its upward and downward ranks (its distance from both ends of the graph),
+//! and (2) every task on the critical path is committed to the single node
+//! that executes the critical path fastest — under the related-machines
+//! model, simply the fastest node. Non-critical tasks use insertion-based
+//! earliest finish time, as in HEFT. Complexity `O(|T|^2 |V|)`.
+
+use crate::{util, Scheduler};
+use saga_core::{ranking, Instance, Schedule, ScheduleBuilder};
+
+/// The CPoP scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cpop;
+
+impl Scheduler for Cpop {
+    fn name(&self) -> &'static str {
+        "CPoP"
+    }
+
+    fn schedule(&self, inst: &Instance) -> Schedule {
+        let avg = ranking::AverageCosts::new(inst);
+        let up = ranking::upward_rank_with(inst, &avg);
+        let down = ranking::downward_rank_with(inst, &avg);
+        let cp = ranking::critical_path(inst);
+        let cp_node = inst.network.fastest_node();
+        let prio = |t: saga_core::TaskId| up[t.index()] + down[t.index()];
+
+        let mut b = ScheduleBuilder::new(inst);
+        // Priority queue over ready tasks (vector scan keeps it simple and
+        // allocation-light at the paper's instance sizes).
+        let n = inst.graph.task_count();
+        while b.placed_count() < n {
+            let ready = util::ready_tasks(&b);
+            let &t = ready
+                .iter()
+                .max_by(|&&a, &&c| prio(a).total_cmp(&prio(c)).then(c.cmp(&a)))
+                .expect("ready set cannot be empty in a DAG");
+            if cp.on_path[t.index()] {
+                let (s, _) = b.eft(t, cp_node, true);
+                b.place(t, cp_node, s);
+            } else {
+                let (v, s, _) = util::best_eft_node(&b, t, true);
+                b.place(t, v, s);
+            }
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::fixtures;
+    use saga_core::{ranking, TaskId};
+
+    #[test]
+    fn schedules_are_valid_on_smoke_instances() {
+        for inst in fixtures::smoke_instances() {
+            let s = Cpop.schedule(&inst);
+            s.verify(&inst).expect("CPoP schedule must be valid");
+        }
+    }
+
+    #[test]
+    fn critical_path_tasks_share_the_fastest_node() {
+        let inst = fixtures::fig1();
+        let s = Cpop.schedule(&inst);
+        let cp = ranking::critical_path(&inst);
+        let fast = inst.network.fastest_node();
+        for t in &cp.tasks {
+            assert_eq!(s.assignment(*t).node, fast, "critical task {t} off the CP node");
+        }
+    }
+
+    #[test]
+    fn chain_collapses_to_fastest_node() {
+        // A pure chain *is* the critical path, so CPoP serializes it on the
+        // fastest node.
+        let g = saga_core::TaskGraph::chain(&[1.0, 2.0, 1.0], &[5.0, 5.0]);
+        let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0, 2.0], 0.1), g);
+        let s = Cpop.schedule(&inst);
+        for t in inst.graph.tasks() {
+            assert_eq!(s.assignment(t).node, saga_core::NodeId(1));
+        }
+        assert!((s.makespan() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig3_cpop_serializes_on_modified_network() {
+        // The paper's Fig. 3e/3g: CPoP places the whole graph on one node,
+        // makespan 15 (5 tasks x cost 3 / speed 1), on both networks.
+        for inst in [fixtures::fig3_original(), fixtures::fig3_modified()] {
+            let s = Cpop.schedule(&inst);
+            s.verify(&inst).unwrap();
+            assert!(
+                (s.makespan() - 15.0).abs() < 1e-9,
+                "CPoP fig3 makespan {}",
+                s.makespan()
+            );
+        }
+    }
+
+    #[test]
+    fn fig3_variant_flip_cpop_beats_heft_after_link_weakening() {
+        // The paper's illustrative point (Fig. 3): a minor network change —
+        // weakening node 3's links — makes HEFT lose badly to CPoP.
+        let orig = fixtures::fig3_variant_original();
+        let modif = fixtures::fig3_variant_modified();
+        let r_orig = crate::Heft.schedule(&orig).makespan() / Cpop.schedule(&orig).makespan();
+        let heft_mod = crate::Heft.schedule(&modif).makespan();
+        let cpop_mod = Cpop.schedule(&modif).makespan();
+        assert!(
+            cpop_mod < heft_mod,
+            "expected CPoP ({cpop_mod}) to beat HEFT ({heft_mod}) on the weakened network"
+        );
+        assert!(
+            heft_mod / cpop_mod > r_orig + 0.1,
+            "weakening links should widen HEFT's gap: {r_orig} -> {}",
+            heft_mod / cpop_mod
+        );
+    }
+
+    #[test]
+    fn identical_independent_tasks_all_tie_onto_the_cp_node() {
+        // With exactly equal priorities every task is in the critical set,
+        // so CPoP serializes them — the behavior visible in the paper's
+        // Fig. 3e/3g where all five tasks land on one node.
+        let mut g = saga_core::TaskGraph::new();
+        g.add_task("a", 1.0);
+        g.add_task("b", 1.0);
+        g.add_task("c", 1.0);
+        let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0, 1.0, 1.0], 1.0), g);
+        let s = Cpop.schedule(&inst);
+        assert!((s.makespan() - 3.0).abs() < 1e-9);
+        let n0 = s.assignment(TaskId(0)).node;
+        for t in inst.graph.tasks() {
+            assert_eq!(s.assignment(t).node, n0);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Duplex (Braun et al. 2001): run MinMin and MaxMin, keep the better
+//! schedule. Inherits whichever extreme suits the workload.
+
+use crate::{MaxMin, MinMin, Scheduler};
+use saga_core::{Instance, Schedule};
+
+/// The Duplex scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Duplex;
+
+impl Scheduler for Duplex {
+    fn name(&self) -> &'static str {
+        "Duplex"
+    }
+
+    fn schedule(&self, inst: &Instance) -> Schedule {
+        let a = MinMin.schedule(inst);
+        let b = MaxMin.schedule(inst);
+        // non-strict: prefer MinMin on ties (paper lists MinMin first)
+        if a.makespan() <= b.makespan() {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::fixtures;
+
+    #[test]
+    fn schedules_are_valid_on_smoke_instances() {
+        for inst in fixtures::smoke_instances() {
+            let s = Duplex.schedule(&inst);
+            s.verify(&inst).expect("Duplex schedule must be valid");
+        }
+    }
+
+    #[test]
+    fn never_worse_than_either_component() {
+        for inst in fixtures::smoke_instances() {
+            let d = Duplex.schedule(&inst).makespan();
+            let a = MinMin.schedule(&inst).makespan();
+            let b = MaxMin.schedule(&inst).makespan();
+            assert!(d <= a + 1e-9 && d <= b + 1e-9, "duplex {d} vs {a}/{b}");
+        }
+    }
+
+    #[test]
+    fn picks_maxmin_when_it_wins() {
+        // the skewed-load example from the MaxMin tests: MinMin ends at 3,
+        // MaxMin at 2, so Duplex must return 2
+        let mut g = saga_core::TaskGraph::new();
+        g.add_task("a", 2.0);
+        g.add_task("b", 1.0);
+        g.add_task("c", 1.0);
+        let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0, 1.0], 1.0), g);
+        let d = Duplex.schedule(&inst).makespan();
+        assert!((d - 2.0).abs() < 1e-9);
+    }
+}

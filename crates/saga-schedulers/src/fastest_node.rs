@@ -1,0 +1,74 @@
+//! FastestNode — the paper's simple serial baseline.
+//!
+//! Schedules every task, in topological order, back-to-back on the single
+//! fastest compute node. No communication is ever paid (all data stays
+//! local), which is exactly why PISA finds instances where it beats
+//! sophisticated schedulers that over-parallelize.
+
+use crate::Scheduler;
+use saga_core::{Instance, Schedule, ScheduleBuilder};
+
+/// The FastestNode baseline scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastestNode;
+
+impl Scheduler for FastestNode {
+    fn name(&self) -> &'static str {
+        "FastestNode"
+    }
+
+    fn schedule(&self, inst: &Instance) -> Schedule {
+        let v = inst.network.fastest_node();
+        let mut b = ScheduleBuilder::new(inst);
+        for t in inst.graph.topological_order() {
+            let (s, _) = b.eft(t, v, false);
+            b.place(t, v, s);
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::fixtures;
+
+    #[test]
+    fn schedules_are_valid_on_smoke_instances() {
+        for inst in fixtures::smoke_instances() {
+            let s = FastestNode.schedule(&inst);
+            s.verify(&inst).expect("FastestNode schedule must be valid");
+        }
+    }
+
+    #[test]
+    fn all_tasks_on_the_fastest_node() {
+        let inst = fixtures::fig1();
+        let s = FastestNode.schedule(&inst);
+        let fast = inst.network.fastest_node();
+        for t in inst.graph.tasks() {
+            assert_eq!(s.assignment(t).node, fast);
+        }
+    }
+
+    #[test]
+    fn makespan_is_total_cost_over_fastest_speed() {
+        let inst = fixtures::fig1();
+        let s = FastestNode.schedule(&inst);
+        let fast = inst.network.fastest_node();
+        let expect = inst.graph.total_cost() / inst.network.speed(fast);
+        assert!((s.makespan() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_pays_communication() {
+        // even with zero-strength links, the serial schedule is finite
+        let mut g = saga_core::TaskGraph::new();
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 1.0);
+        g.add_dependency(a, b, 100.0).unwrap();
+        let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0, 1.0], 0.0), g);
+        let s = FastestNode.schedule(&inst);
+        assert!((s.makespan() - 2.0).abs() < 1e-12);
+    }
+}

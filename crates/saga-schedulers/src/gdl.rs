@@ -1,0 +1,134 @@
+//! GDL — Generalized Dynamic Level scheduling, also known as DLS
+//! (Sih & Lee 1993).
+//!
+//! A list-scheduling variant whose priorities are re-evaluated after every
+//! placement. The *static level* `SL(t)` is the largest sum of median
+//! execution times along any path from `t` to a sink (no communication).
+//! The *dynamic level* of a (task, node) pair is
+//!
+//! ```text
+//! DL(t, v) = SL(t) - max(DA(t, v), TF(v)) + Delta(t, v)
+//! ```
+//!
+//! where `DA` is the data-available time on `v`, `TF` the time `v` frees up,
+//! and `Delta(t, v) = median_exec(t) - exec(t, v)` rewards placing `t` on a
+//! node that runs it faster than typical. Each step schedules the pair with
+//! the maximum dynamic level. Complexity `O(|V|^3 |T|)` per the paper.
+
+use crate::{util, Scheduler};
+use saga_core::{Instance, Schedule, ScheduleBuilder};
+
+/// The GDL (DLS) scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gdl;
+
+/// Median of a non-empty slice (averaging the middle pair on even lengths).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+impl Scheduler for Gdl {
+    fn name(&self) -> &'static str {
+        "GDL"
+    }
+
+    fn schedule(&self, inst: &Instance) -> Schedule {
+        let g = &inst.graph;
+        let net = &inst.network;
+        // median execution time per task over all nodes
+        let med_exec: Vec<f64> = g
+            .tasks()
+            .map(|t| {
+                let mut xs: Vec<f64> = net.nodes().map(|v| net.exec_time(g.cost(t), v)).collect();
+                median(&mut xs)
+            })
+            .collect();
+        // static level: longest median-exec path to a sink (no comm)
+        let order = g.topological_order();
+        let mut sl = vec![0.0f64; g.task_count()];
+        for &t in order.iter().rev() {
+            let mut best = 0.0f64;
+            for e in g.successors(t) {
+                best = best.max(sl[e.task.index()]);
+            }
+            sl[t.index()] = med_exec[t.index()] + best;
+        }
+
+        let n = g.task_count();
+        let mut b = ScheduleBuilder::new(inst);
+        while b.placed_count() < n {
+            let ready = util::ready_tasks(&b);
+            let mut chosen: Option<(saga_core::TaskId, saga_core::NodeId, f64, f64)> = None;
+            for &t in &ready {
+                for v in net.nodes() {
+                    let da = b.data_ready_time(t, v);
+                    let tf = b.earliest_start_append(v, 0.0);
+                    let start = da.max(tf);
+                    let delta = med_exec[t.index()] - net.exec_time(g.cost(t), v);
+                    let dl = sl[t.index()] - start + delta;
+                    let better = match chosen {
+                        None => true,
+                        Some((_, _, _, cdl)) => dl > cdl,
+                    };
+                    if better {
+                        chosen = Some((t, v, start, dl));
+                    }
+                }
+            }
+            let (t, v, start, _) = chosen.expect("ready set cannot be empty in a DAG");
+            b.place(t, v, start);
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::fixtures;
+
+    #[test]
+    fn schedules_are_valid_on_smoke_instances() {
+        for inst in fixtures::smoke_instances() {
+            let s = Gdl.schedule(&inst);
+            s.verify(&inst).expect("GDL schedule must be valid");
+        }
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [5.0]), 5.0);
+    }
+
+    #[test]
+    fn prefers_fast_node_via_delta_term() {
+        // one big task, a fast and a slow node: Delta pushes it to the fast
+        // node even though both are idle
+        let mut g = saga_core::TaskGraph::new();
+        let t = g.add_task("t", 4.0);
+        let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0, 4.0], 1.0), g);
+        let s = Gdl.schedule(&inst);
+        assert_eq!(s.assignment(t).node, saga_core::NodeId(1));
+    }
+
+    #[test]
+    fn higher_static_level_goes_first() {
+        // head of a long chain outranks an isolated short task
+        let mut g = saga_core::TaskGraph::new();
+        let lone = g.add_task("lone", 1.0);
+        let head = g.add_task("head", 1.0);
+        let tail = g.add_task("tail", 10.0);
+        g.add_dependency(head, tail, 0.1).unwrap();
+        let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0], 1.0), g);
+        let s = Gdl.schedule(&inst);
+        assert!(s.assignment(head).start < s.assignment(lone).start);
+    }
+}

@@ -1,0 +1,103 @@
+//! LMT — Levelized Min Time.
+//!
+//! Another comparator from the HEFT/CPoP evaluation (the PISA paper notes it
+//! could not locate the original publication; the standard description is a
+//! two-phase *levelized* scheduler). Tasks are partitioned into precedence
+//! levels (longest path depth from a source); within each level — whose
+//! tasks are mutually independent — tasks are taken largest-cost-first and
+//! each is assigned to the node minimizing its completion time.
+
+use crate::{util, Scheduler};
+use saga_core::{Instance, Schedule, ScheduleBuilder, TaskId};
+
+/// The Levelized Min Time scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lmt;
+
+/// Longest-path depth of every task from the source frontier.
+fn levels(inst: &Instance) -> Vec<usize> {
+    let g = &inst.graph;
+    let mut level = vec![0usize; g.task_count()];
+    for &t in &g.topological_order() {
+        let lt = level[t.index()];
+        for e in g.successors(t) {
+            let l = &mut level[e.task.index()];
+            *l = (*l).max(lt + 1);
+        }
+    }
+    level
+}
+
+impl Scheduler for Lmt {
+    fn name(&self) -> &'static str {
+        "LMT"
+    }
+
+    fn schedule(&self, inst: &Instance) -> Schedule {
+        let level = levels(inst);
+        let max_level = level.iter().copied().max().unwrap_or(0);
+        let mut b = ScheduleBuilder::new(inst);
+        for l in 0..=max_level {
+            let mut tier: Vec<TaskId> = inst
+                .graph
+                .tasks()
+                .filter(|t| level[t.index()] == l)
+                .collect();
+            tier.sort_by(|&a, &c| {
+                inst.graph
+                    .cost(c)
+                    .total_cmp(&inst.graph.cost(a))
+                    .then(a.cmp(&c))
+            });
+            for t in tier {
+                let (v, s, _) = util::best_eft_node(&b, t, false);
+                b.place(t, v, s);
+            }
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::fixtures;
+
+    #[test]
+    fn schedules_are_valid_on_smoke_instances() {
+        for inst in fixtures::smoke_instances() {
+            let s = Lmt.schedule(&inst);
+            s.verify(&inst).expect("LMT schedule must be valid");
+        }
+    }
+
+    #[test]
+    fn levels_follow_longest_paths() {
+        let inst = fixtures::fig1();
+        let l = levels(&inst);
+        // t1 (source) 0; t2, t3 at 1; t4 at 2
+        assert_eq!(l, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn within_level_big_tasks_go_first() {
+        // two independent tasks (same level), one node: the bigger starts
+        // first under LMT's largest-first tie-breaking
+        let mut g = saga_core::TaskGraph::new();
+        let small = g.add_task("small", 1.0);
+        let big = g.add_task("big", 5.0);
+        let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0], 1.0), g);
+        let s = Lmt.schedule(&inst);
+        assert!(s.assignment(big).start < s.assignment(small).start);
+    }
+
+    #[test]
+    fn levelization_can_cost_against_heft() {
+        // LMT cannot start a level-2 task before finishing placing level-1
+        // tasks, so HEFT is at least as good on the Fig. 1 instance
+        let inst = fixtures::fig1();
+        let lmt = Lmt.schedule(&inst).makespan();
+        let heft = crate::Heft.schedule(&inst).makespan();
+        assert!(heft <= lmt + 1e-9);
+    }
+}

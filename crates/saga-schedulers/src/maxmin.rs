@@ -1,0 +1,66 @@
+//! MaxMin (Braun et al. 2001), generalized to precedence constraints.
+//!
+//! The mirror image of MinMin: among ready tasks, schedule the one whose
+//! *minimum* completion time is *largest* (get the big rocks in early).
+//! Complexity `O(|T|^2 |V|)`.
+
+use crate::minmin::min_max_schedule;
+use crate::Scheduler;
+use saga_core::{Instance, Schedule};
+
+/// The MaxMin scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxMin;
+
+impl Scheduler for MaxMin {
+    fn name(&self) -> &'static str {
+        "MaxMin"
+    }
+
+    fn schedule(&self, inst: &Instance) -> Schedule {
+        min_max_schedule(inst, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::fixtures;
+
+    #[test]
+    fn schedules_are_valid_on_smoke_instances() {
+        for inst in fixtures::smoke_instances() {
+            let s = MaxMin.schedule(&inst);
+            s.verify(&inst).expect("MaxMin schedule must be valid");
+        }
+    }
+
+    #[test]
+    fn schedules_longest_tasks_first() {
+        let mut g = saga_core::TaskGraph::new();
+        let big = g.add_task("big", 3.0);
+        let small = g.add_task("small", 1.0);
+        let mid = g.add_task("mid", 2.0);
+        let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0], 1.0), g);
+        let s = MaxMin.schedule(&inst);
+        assert!(s.assignment(big).start < s.assignment(mid).start);
+        assert!(s.assignment(mid).start < s.assignment(small).start);
+    }
+
+    #[test]
+    fn differs_from_minmin_on_skewed_loads() {
+        // classic example: two nodes, tasks {2, 1, 1}; MaxMin places the big
+        // task first and packs the small ones opposite it (makespan 2) while
+        // MinMin burns both nodes on the small tasks and serializes the big
+        // one after (makespan 3)
+        let mut g = saga_core::TaskGraph::new();
+        g.add_task("a", 2.0);
+        g.add_task("b", 1.0);
+        g.add_task("c", 1.0);
+        let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0, 1.0], 1.0), g);
+        let maxmin = MaxMin.schedule(&inst).makespan();
+        let minmin = crate::MinMin.schedule(&inst).makespan();
+        assert!((maxmin - 2.0).abs() < 1e-9, "maxmin {maxmin}");
+        assert!((minmin - 3.0).abs() < 1e-9, "minmin {minmin}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Adversarial analysis with PISA: find a problem instance where HEFT
+//! performs as badly as possible against CPoP, starting from small random
+//! chain instances (the paper's Section VI setup).
+//!
+//! ```sh
+//! cargo run --release --example adversarial_search
+//! ```
+
+use saga::core::gantt;
+use saga::pisa::perturb::initial_instance;
+use saga::pisa::{GeneralPerturber, Pisa, PisaConfig};
+use saga::schedulers::{Cpop, Heft, Scheduler};
+
+fn main() {
+    let perturber = GeneralPerturber::default();
+    let pisa = Pisa {
+        target: &Heft,
+        baseline: &Cpop,
+        perturber: &perturber,
+        config: PisaConfig {
+            seed: 17,
+            ..PisaConfig::default() // the paper's T_max/T_min/I_max/alpha
+        },
+    };
+
+    println!("searching for an instance where HEFT maximally trails CPoP...");
+    let result = pisa.run(&|rng| initial_instance(rng));
+    println!(
+        "found ratio {:.3} (started at {:.3}, {} evaluations)\n",
+        result.ratio, result.initial_ratio, result.evaluations
+    );
+
+    let inst = &result.instance;
+    println!("witness instance:\n{}", inst.to_json());
+
+    for s in [&Heft as &dyn Scheduler, &Cpop as &dyn Scheduler] {
+        let sched = s.schedule(inst);
+        sched.verify(inst).expect("valid");
+        println!("{} makespan {:.3}", s.name(), sched.makespan());
+        println!("{}", gantt::render(inst, &sched, 60));
+    }
+
+    println!(
+        "HEFT is {:.2}x worse than CPoP on this instance — a gap the paper's\n\
+         Fig. 2 benchmarking (where HEFT looks uniformly strong) never reveals.",
+        result.ratio
+    );
+}

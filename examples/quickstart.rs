@@ -1,0 +1,54 @@
+//! Quickstart: define a problem instance, run a scheduler, inspect and
+//! validate the schedule.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use saga::core::{gantt, Instance, Network, NodeId, TaskGraph};
+use saga::schedulers::{Heft, Scheduler};
+
+fn main() {
+    // The task graph from the paper's Fig. 1: four tasks, four dependencies.
+    let mut graph = TaskGraph::new();
+    let t1 = graph.add_task("t1", 1.7);
+    let t2 = graph.add_task("t2", 1.2);
+    let t3 = graph.add_task("t3", 2.2);
+    let t4 = graph.add_task("t4", 0.8);
+    graph.add_dependency(t1, t2, 0.6).unwrap();
+    graph.add_dependency(t1, t3, 0.5).unwrap();
+    graph.add_dependency(t2, t4, 1.3).unwrap();
+    graph.add_dependency(t3, t4, 1.6).unwrap();
+
+    // Three heterogeneous nodes with heterogeneous links.
+    let mut network = Network::complete(&[1.0, 1.2, 1.5], 1.0);
+    network.set_link(NodeId(0), NodeId(1), 0.5);
+    network.set_link(NodeId(1), NodeId(2), 1.2);
+
+    let instance = Instance::new(network, graph);
+    println!("instance CCR: {:.3}\n", instance.ccr());
+
+    // Schedule with HEFT and validate against the Section II constraints.
+    let schedule = Heft.schedule(&instance);
+    schedule.verify(&instance).expect("HEFT produces valid schedules");
+
+    println!("HEFT makespan: {:.3}", schedule.makespan());
+    for t in instance.graph.tasks() {
+        let a = schedule.assignment(t);
+        println!(
+            "  {} on {} during [{:.3}, {:.3}]",
+            instance.graph.name(t),
+            a.node,
+            a.start,
+            a.finish
+        );
+    }
+    println!("\n{}", gantt::render(&instance, &schedule, 60));
+
+    // Compare every polynomial-time scheduler on the same instance.
+    println!("all schedulers on this instance:");
+    for s in saga::schedulers::benchmark_schedulers() {
+        let m = s.schedule(&instance).makespan();
+        println!("  {:<12} {m:.3}", s.name());
+    }
+}

@@ -1,0 +1,67 @@
+//! Scheduling under uncertainty: plan on expected weights, execute under
+//! jittered realizations, and see which scheduler's plans degrade least —
+//! the stochastic-instances extension the paper names as future work.
+//!
+//! ```sh
+//! cargo run --release --example robust_scheduling
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saga::core::stochastic::{simulate_fixed, static_plan_makespan, StochasticInstance};
+use saga::core::Instance;
+use saga::schedulers::Scheduler;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // an epigenomics-shaped workflow with links pinned at CCR 1
+    let g = saga::datasets::workflows::build_graph("epigenomics", &mut rng);
+    let spec = saga::datasets::workflows::spec("epigenomics").unwrap();
+    let net = saga::datasets::workflows::sample_chameleon_network(&mut rng, &spec);
+    let mut inst = Instance::new(net, g);
+    saga::datasets::ccr::set_homogeneous_ccr(&mut inst, 1.0);
+
+    println!(
+        "epigenomics instance: {} tasks on {} machines\n",
+        inst.graph.task_count(),
+        inst.network.node_count()
+    );
+    for cv in [0.1, 0.2, 0.3] {
+        let stoch = StochasticInstance::jittered(&inst, cv);
+        let expected = stoch.expected_instance();
+        println!("weight jitter cv = {cv}:");
+        println!(
+            "  {:<12} {:>10} {:>14} {:>12} {:>10}",
+            "scheduler", "planned", "achieved mean", "p95", "regret"
+        );
+        for s in saga::schedulers::app_specific_schedulers() {
+            let plan = s.schedule(&expected);
+            let planned = plan.makespan();
+            let mut mc = StdRng::seed_from_u64(99);
+            let (mean, p95) = static_plan_makespan(&plan, &stoch, 300, &mut mc);
+            println!(
+                "  {:<12} {:>10.1} {:>14.1} {:>12.1} {:>9.1}%",
+                s.name(),
+                planned,
+                mean,
+                p95,
+                100.0 * (mean / planned - 1.0)
+            );
+        }
+        println!();
+    }
+
+    // one concrete story: re-timing a single plan under one bad draw
+    let stoch = StochasticInstance::jittered(&inst, 0.3);
+    let plan = saga::schedulers::Heft.schedule(&stoch.expected_instance());
+    let mut rng = StdRng::seed_from_u64(1234);
+    let reality = stoch.realize(&mut rng);
+    let executed = simulate_fixed(&plan, &reality);
+    executed.verify(&reality).expect("re-timed plan is valid");
+    println!(
+        "single draw: HEFT promised {:.1}, delivered {:.1} ({:+.1}%)",
+        plan.makespan(),
+        executed.makespan(),
+        100.0 * (executed.makespan() / plan.makespan() - 1.0)
+    );
+}

@@ -1,0 +1,90 @@
+//! Scheduler portfolios: the paper's closing suggestion — a Workflow
+//! Management System could "run a set of scheduling algorithms that best
+//! covers the different types of client workflows", e.g. the three
+//! schedulers minimizing the combined worst-case makespan ratio found by
+//! PISA.
+//!
+//! This example builds a small PISA pairwise matrix, then exhaustively
+//! evaluates all 3-subsets: a portfolio's worst case on an instance is the
+//! *best* of its members, so its adversarial ratio against a baseline is the
+//! minimum of the members' ratios.
+//!
+//! ```sh
+//! cargo run --release --example scheduler_portfolio
+//! ```
+
+use saga::pisa::{pairwise_matrix, PisaConfig};
+use saga::schedulers::Scheduler;
+
+fn main() {
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(saga::schedulers::Cpop),
+        Box::new(saga::schedulers::FastestNode),
+        Box::new(saga::schedulers::Heft),
+        Box::new(saga::schedulers::MaxMin),
+        Box::new(saga::schedulers::MinMin),
+        Box::new(saga::schedulers::Wba::default()),
+    ];
+    println!("building PISA pairwise matrix over 6 schedulers...");
+    let m = pairwise_matrix(
+        &schedulers,
+        PisaConfig {
+            i_max: 300,
+            restarts: 2,
+            seed: 4242,
+            ..PisaConfig::default()
+        },
+    );
+    let n = m.names.len();
+
+    // Evaluate every 3-subset: worst over baselines of (min over members).
+    // This is an upper bound built from single-scheduler witnesses — the
+    // portfolio can only do better on each witness instance.
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            for c in (b + 1)..n {
+                let members = [a, b, c];
+                let mut worst = 0.0f64;
+                for i in 0..n {
+                    // adversary picks the baseline; portfolio picks its best
+                    // member on that baseline's witness
+                    let ratio = members
+                        .iter()
+                        .map(|&j| if i == j { 1.0 } else { m.ratios[i][j] })
+                        .fold(f64::INFINITY, f64::min);
+                    worst = worst.max(ratio);
+                }
+                let better = match &best {
+                    None => true,
+                    Some((_, w)) => worst < *w,
+                };
+                if better {
+                    best = Some((members.to_vec(), worst));
+                }
+            }
+        }
+    }
+
+    println!("\nsingle-scheduler worst cases:");
+    let worst_row = m.worst_row();
+    for (name, w) in m.names.iter().zip(&worst_row) {
+        println!("  {:<12} {}", name, saga::pisa::PairwiseMatrix::format_cell(*w));
+    }
+    let (members, worst) = best.expect("at least one subset");
+    println!(
+        "\nbest 3-scheduler portfolio: {{{}}} with combined worst-case ratio {}",
+        members
+            .iter()
+            .map(|&i| m.names[i].clone())
+            .collect::<Vec<_>>()
+            .join(", "),
+        saga::pisa::PairwiseMatrix::format_cell(worst)
+    );
+    println!(
+        "(vs {} for the best single scheduler)",
+        saga::pisa::PairwiseMatrix::format_cell(
+            worst_row.iter().cloned().fold(f64::INFINITY, f64::min)
+        )
+    );
+}

@@ -1,0 +1,90 @@
+//! Cross-crate integration: every polynomial scheduler must produce a valid
+//! schedule on instances from every dataset generator — the combination the
+//! paper's Fig. 2 exercises 15 x 16 times.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saga::schedulers::Scheduler;
+
+#[test]
+fn every_scheduler_is_valid_on_every_dataset() {
+    let schedulers = saga::schedulers::benchmark_schedulers();
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for gen in saga::datasets::all_generators() {
+        for k in 0..2 {
+            let inst = gen.sample(&mut rng);
+            for s in &schedulers {
+                let sched = s.schedule(&inst);
+                sched.verify(&inst).unwrap_or_else(|e| {
+                    panic!("{} invalid on {} sample {k}: {e}", s.name(), gen.name)
+                });
+                assert!(
+                    sched.makespan() > 0.0,
+                    "{} zero makespan on {}",
+                    s.name(),
+                    gen.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_solvers_are_valid_and_lower_bound_heuristics_on_tiny_instances() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let gen = saga::datasets::by_name("chains").unwrap();
+    // shrink: chains instances can have up to 27 tasks; find small samples
+    let mut checked = 0;
+    while checked < 2 {
+        let inst = gen.sample(&mut rng);
+        if inst.graph.task_count() > 7 || inst.network.node_count() > 3 {
+            continue;
+        }
+        checked += 1;
+        let opt = saga::schedulers::BruteForce::default().schedule(&inst);
+        opt.verify(&inst).unwrap();
+        for s in saga::schedulers::benchmark_schedulers() {
+            let m = s.schedule(&inst).makespan();
+            assert!(
+                opt.makespan() <= m + 1e-9,
+                "BruteForce {} > {} {}",
+                opt.makespan(),
+                s.name(),
+                m
+            );
+        }
+    }
+}
+
+#[test]
+fn makespan_ratio_one_is_always_achieved_by_someone() {
+    let schedulers = saga::schedulers::benchmark_schedulers();
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for gen in saga::datasets::all_generators() {
+        let inst = gen.sample(&mut rng);
+        let ms: Vec<f64> = schedulers
+            .iter()
+            .map(|s| s.schedule(&inst).makespan())
+            .collect();
+        let best = ms.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(best.is_finite(), "someone must finish on {}", gen.name);
+    }
+}
+
+#[test]
+fn schedulers_are_deterministic_across_calls() {
+    // WBA is seeded; everything else is purely deterministic — two calls on
+    // the same instance must agree exactly.
+    let mut rng = StdRng::seed_from_u64(0xDE7);
+    let gen = saga::datasets::by_name("montage").unwrap();
+    let inst = gen.sample(&mut rng);
+    for s in saga::schedulers::benchmark_schedulers() {
+        let a = s.schedule(&inst);
+        let b = s.schedule(&inst);
+        assert_eq!(a.makespan(), b.makespan(), "{} nondeterministic", s.name());
+        for t in inst.graph.tasks() {
+            assert_eq!(a.assignment(t).node, b.assignment(t).node);
+            assert_eq!(a.assignment(t).start, b.assignment(t).start);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Hand-traced expected schedules on the paper's Fig. 1 instance — pinning
+//! the exact numerics of the scheduler implementations (not just validity).
+//!
+//! Instance: tasks t1(1.7) -> {t2(1.2), t3(2.2)} -> t4(0.8) with dependency
+//! sizes 0.6/0.5/1.3/1.6; nodes v1(1.0), v2(1.2), v3(1.5); links
+//! v1-v2 = 0.5, v1-v3 = 1.0, v2-v3 = 1.2.
+
+use saga::core::{NodeId, TaskId};
+use saga::schedulers::util::fixtures;
+use saga::schedulers::Scheduler;
+
+const T1: TaskId = TaskId(0);
+const T2: TaskId = TaskId(1);
+const T3: TaskId = TaskId(2);
+const T4: TaskId = TaskId(3);
+const V1: NodeId = NodeId(0);
+const V2: NodeId = NodeId(1);
+const V3: NodeId = NodeId(2);
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+#[test]
+fn heft_fig1_trace() {
+    // upward ranks order t1 > t3 > t2 > t4 (avg exec with mean inverse
+    // speed 0.83, avg comm with mean inverse link 1.28):
+    // t1 -> v3 [0, 1.1333]; t3 -> v3 [1.1333, 2.6]; t2 -> v2 (data at
+    // 1.1333 + 0.6/1.2 = 1.6333) [1.6333, 2.6333]; t4 -> v3 (data from t2:
+    // 2.6333 + 1.3/1.2 = 3.7167) [3.7167, 4.25].
+    let inst = fixtures::fig1();
+    let s = saga::schedulers::Heft.schedule(&inst);
+    assert_eq!(s.assignment(T1).node, V3);
+    assert!(close(s.assignment(T1).finish, 1.7 / 1.5));
+    assert_eq!(s.assignment(T3).node, V3);
+    assert!(close(s.assignment(T3).start, 1.7 / 1.5));
+    assert_eq!(s.assignment(T2).node, V2);
+    assert!(close(s.assignment(T2).start, 1.7 / 1.5 + 0.6 / 1.2));
+    assert_eq!(s.assignment(T4).node, V3);
+    let t2_finish = 1.7 / 1.5 + 0.6 / 1.2 + 1.2 / 1.2;
+    assert!(close(s.assignment(T4).start, t2_finish + 1.3 / 1.2));
+    assert!(close(s.makespan(), t2_finish + 1.3 / 1.2 + 0.8 / 1.5));
+}
+
+#[test]
+fn fastest_node_fig1_trace() {
+    // serial on v3 in topological order: 5.9 / 1.5
+    let inst = fixtures::fig1();
+    let s = saga::schedulers::FastestNode.schedule(&inst);
+    assert!(close(s.makespan(), (1.7 + 1.2 + 2.2 + 0.8) / 1.5));
+    // order on the node is topological: t1 t2 t3 t4
+    assert_eq!(s.node_tasks(V3), &[T1, T2, T3, T4]);
+}
+
+#[test]
+fn met_fig1_equals_fastest_node_makespan() {
+    // under related machines MET picks the fastest node for every task, so
+    // its makespan equals the serial baseline here
+    let inst = fixtures::fig1();
+    let met = saga::schedulers::Met.schedule(&inst).makespan();
+    let fast = saga::schedulers::FastestNode.schedule(&inst).makespan();
+    assert!(close(met, fast));
+}
+
+#[test]
+fn mct_fig1_trace() {
+    // topological order t1..t4, append-only min completion time:
+    // t1 -> v3 [0, 1.1333]
+    // t2: v1 data 1.1333+0.6 = 1.7333 -> 2.9333; v2 1.6333 -> 2.6333;
+    //     v3 append 1.1333 -> 2.1333  => v3
+    // t3: v1 1.6333 -> 3.8333; v2 1.55 -> 3.3833; v3 append 2.1333 -> 3.6
+    //     => v2
+    // t4: v1 max(2.1333+1.3, 3.3833+1.6) = 4.9833 -> 5.7833
+    //     v2 max(2.1333+1.3/1.2, 3.3833) = 3.3833 -> 4.05
+    //     v3 max(2.1333, 3.3833+1.6/1.2) = 4.7167 -> 5.25  => v2
+    let inst = fixtures::fig1();
+    let s = saga::schedulers::Mct.schedule(&inst);
+    assert_eq!(s.assignment(T1).node, V3);
+    assert_eq!(s.assignment(T2).node, V3);
+    assert_eq!(s.assignment(T3).node, V2);
+    assert_eq!(s.assignment(T4).node, V2);
+    assert!(close(s.makespan(), 4.05), "makespan {}", s.makespan());
+}
+
+#[test]
+fn cpop_fig1_critical_path_trace() {
+    // critical path is t1 -> t3 -> t4 (heavier branch); all three must sit
+    // on the fastest node v3
+    let inst = fixtures::fig1();
+    let cp = saga::core::ranking::critical_path(&inst);
+    assert!(cp.on_path[T1.index()] && cp.on_path[T3.index()] && cp.on_path[T4.index()]);
+    assert!(!cp.on_path[T2.index()]);
+    let s = saga::schedulers::Cpop.schedule(&inst);
+    for t in [T1, T3, T4] {
+        assert_eq!(s.assignment(t).node, V3);
+    }
+}
+
+#[test]
+fn olb_fig1_trace() {
+    // OLB: first-idle node, topological order, ties by id:
+    // t1 -> v1 [0, 1.7]; t2 -> v2 (idle at 0, data 1.7 + 0.6/0.5 = 2.9)
+    // [2.9, 3.9]; t3 -> v3 (idle at 0, data 1.7 + 0.5 = 2.2) [2.2, 3.6667];
+    // t4 -> v1 (idle at 1.7; data max(3.9 + 1.3/0.5, 3.6667 + 1.6)) = 6.5
+    // [6.5, 7.3]
+    let inst = fixtures::fig1();
+    let s = saga::schedulers::Olb.schedule(&inst);
+    assert_eq!(s.assignment(T1).node, V1);
+    assert_eq!(s.assignment(T2).node, V2);
+    assert_eq!(s.assignment(T3).node, V3);
+    assert_eq!(s.assignment(T4).node, V1);
+    assert!(close(s.assignment(T2).start, 1.7 + 0.6 / 0.5));
+    assert!(close(s.assignment(T3).start, 1.7 + 0.5));
+    assert!(close(s.makespan(), 6.5 + 0.8), "makespan {}", s.makespan());
+}
+
+#[test]
+fn exact_solvers_bound_every_heuristic_on_fig1() {
+    let inst = fixtures::fig1();
+    let opt = saga::schedulers::BruteForce::default()
+        .schedule(&inst)
+        .makespan();
+    let bnb = saga::schedulers::BnbSearch::default()
+        .schedule(&inst)
+        .makespan();
+    assert!(bnb <= opt * 1.02 + 1e-9, "BnB {bnb} vs OPT {opt}");
+    for s in saga::schedulers::benchmark_schedulers() {
+        let m = s.schedule(&inst).makespan();
+        assert!(opt <= m + 1e-9, "{} beats the optimum?!", s.name());
+    }
+    // the optimum on Fig. 1 beats HEFT's 4.25 (HEFT over-parallelizes here)
+    assert!(opt < 4.0, "opt {opt}");
+}

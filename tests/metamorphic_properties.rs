@@ -1,0 +1,166 @@
+//! Metamorphic tests: transformations of an instance with a *known* effect
+//! on any correct related-machines scheduler's output. These catch subtle
+//! unit mistakes (speed vs time, cost vs duration) that example-based tests
+//! miss.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saga::core::{Instance, Network, NodeId};
+use saga::schedulers::Scheduler;
+
+fn scale_speeds(inst: &Instance, c: f64) -> Instance {
+    let speeds: Vec<f64> = inst.network.speeds().iter().map(|s| s * c).collect();
+    let n = inst.network.node_count();
+    let mut links = vec![0.0; n * n];
+    for u in 0..n {
+        for v in 0..n {
+            let l = inst.network.link(NodeId(u as u32), NodeId(v as u32));
+            links[u * n + v] = if l.is_finite() { l * c } else { f64::INFINITY };
+        }
+    }
+    Instance::new(
+        Network::from_matrix(speeds, links),
+        inst.graph.clone(),
+    )
+}
+
+fn scale_costs(inst: &Instance, c: f64) -> Instance {
+    let mut out = inst.clone();
+    let tasks: Vec<_> = out.graph.tasks().collect();
+    for t in tasks {
+        let cost = out.graph.cost(t);
+        out.graph.set_cost(t, cost * c).unwrap();
+    }
+    let deps: Vec<_> = out.graph.dependencies().collect();
+    for (a, b, w) in deps {
+        out.graph.set_dependency_cost(a, b, w * c).unwrap();
+    }
+    out
+}
+
+fn sample_instances() -> Vec<Instance> {
+    let mut rng = StdRng::seed_from_u64(0x3E7A);
+    let mut v = Vec::new();
+    for gen in ["chains", "in_trees", "blast"] {
+        let g = saga::datasets::by_name(gen).unwrap();
+        v.push(g.sample(&mut rng));
+        v.push(g.sample(&mut rng));
+    }
+    v
+}
+
+#[test]
+fn scaling_all_rates_by_c_scales_makespan_by_inverse_c() {
+    // s(v) -> c*s(v) and s(u,v) -> c*s(u,v) divides every execution and
+    // communication time by c: the schedule structure is unchanged and the
+    // makespan divides by c exactly.
+    for inst in sample_instances() {
+        let scaled = scale_speeds(&inst, 4.0);
+        for s in saga::schedulers::benchmark_schedulers() {
+            let m1 = s.schedule(&inst).makespan();
+            let m2 = s.schedule(&scaled).makespan();
+            assert!(
+                (m1 / 4.0 - m2).abs() <= 1e-9 * m1.abs().max(1.0),
+                "{}: {m1}/4 != {m2}",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn scaling_all_costs_by_c_scales_makespan_by_c() {
+    for inst in sample_instances() {
+        let scaled = scale_costs(&inst, 3.0);
+        for s in saga::schedulers::benchmark_schedulers() {
+            let m1 = s.schedule(&inst).makespan();
+            let m2 = s.schedule(&scaled).makespan();
+            assert!(
+                (3.0 * m1 - m2).abs() <= 1e-9 * m2.abs().max(1.0),
+                "{}: 3*{m1} != {m2}",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn adding_an_implied_zero_edge_changes_nothing_feasible() {
+    // adding a zero-size dependency between already-ordered tasks cannot
+    // invalidate any schedule; schedulers must still produce valid output
+    let mut rng = StdRng::seed_from_u64(0xADD);
+    let gen = saga::datasets::by_name("chains").unwrap();
+    for _ in 0..3 {
+        let mut inst = gen.sample(&mut rng);
+        // find a transitive pair (a reaches b, no direct edge)
+        let mut pair = None;
+        'outer: for a in inst.graph.tasks() {
+            for b in inst.graph.tasks() {
+                if a != b && !inst.graph.has_dependency(a, b) && inst.graph.reaches(a, b) {
+                    pair = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let added = pair.is_some();
+        if let Some((a, b)) = pair {
+            inst.graph.add_dependency(a, b, 0.0).unwrap();
+        }
+        if !added {
+            continue;
+        }
+        for s in saga::schedulers::benchmark_schedulers() {
+            let sched = s.schedule(&inst);
+            sched.verify(&inst).unwrap_or_else(|e| {
+                panic!("{} invalid after implied edge: {e}", s.name())
+            });
+        }
+    }
+}
+
+#[test]
+fn node_permutation_preserves_makespan_for_serial_baseline() {
+    // FastestNode only cares about the max speed, so permuting node order
+    // must not change its makespan (catches index/id mixups)
+    let mut rng = StdRng::seed_from_u64(0x9E12);
+    let gen = saga::datasets::by_name("out_trees").unwrap();
+    for _ in 0..3 {
+        let inst = gen.sample(&mut rng);
+        let n = inst.network.node_count();
+        let mut speeds: Vec<f64> = inst.network.speeds().to_vec();
+        speeds.rotate_left(1);
+        let mut links = vec![0.0; n * n];
+        for u in 0..n {
+            for v in 0..n {
+                let l = inst
+                    .network
+                    .link(NodeId(((u + 1) % n) as u32), NodeId(((v + 1) % n) as u32));
+                links[u * n + v] = l;
+            }
+        }
+        let permuted = Instance::new(Network::from_matrix(speeds, links), inst.graph.clone());
+        let a = saga::schedulers::FastestNode.schedule(&inst).makespan();
+        let b = saga::schedulers::FastestNode.schedule(&permuted).makespan();
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn serial_baseline_is_invariant_to_link_strengths() {
+    for inst in sample_instances() {
+        let weakened = {
+            let n = inst.network.node_count();
+            let mut links = vec![0.001; n * n];
+            for i in 0..n {
+                links[i * n + i] = f64::INFINITY;
+            }
+            Instance::new(
+                Network::from_matrix(inst.network.speeds().to_vec(), links),
+                inst.graph.clone(),
+            )
+        };
+        let a = saga::schedulers::FastestNode.schedule(&inst).makespan();
+        let b = saga::schedulers::FastestNode.schedule(&weakened).makespan();
+        assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests over the core invariants:
+//!
+//! * every scheduler produces a Section-II-valid schedule on arbitrary DAG
+//!   instances (including zero weights);
+//! * the reported makespan equals the maximum assignment finish time;
+//! * task-graph mutations preserve acyclicity and pred/succ symmetry;
+//! * JSON round-trips are lossless, including infinite link strengths.
+
+use proptest::prelude::*;
+use saga::core::{Instance, Network, NodeId, TaskGraph};
+use saga::schedulers::Scheduler;
+
+/// Strategy: a random DAG instance with up to 8 tasks and 4 nodes. Forward
+/// edges only, so acyclic by construction; weights may be zero (the paper's
+/// clipping floor) to exercise infinite-time paths.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        2usize..=8,                         // tasks
+        1usize..=4,                         // nodes
+        proptest::collection::vec(0.0f64..=2.0, 8), // task costs (prefix used)
+        proptest::collection::vec(0.0f64..=2.0, 8 * 8), // dep costs
+        proptest::collection::vec(any::<bool>(), 8 * 8), // edge mask
+        proptest::collection::vec(0.0f64..=2.0, 4), // speeds
+        proptest::collection::vec(0.0f64..=2.0, 4 * 4), // links
+    )
+        .prop_map(|(nt, nv, costs, dep_costs, mask, speeds, links)| {
+            let mut g = TaskGraph::new();
+            let ids: Vec<_> = (0..nt)
+                .map(|i| g.add_task(format!("t{i}"), costs[i]))
+                .collect();
+            for i in 0..nt {
+                for j in (i + 1)..nt {
+                    if mask[i * 8 + j] {
+                        g.add_dependency(ids[i], ids[j], dep_costs[i * 8 + j]).unwrap();
+                    }
+                }
+            }
+            let mut net = Network::complete(&speeds[..nv], 1.0);
+            for u in 0..nv {
+                for v in (u + 1)..nv {
+                    net.set_link(NodeId(u as u32), NodeId(v as u32), links[u * 4 + v]);
+                }
+            }
+            Instance::new(net, g)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_schedulers_valid_on_arbitrary_instances(inst in arb_instance()) {
+        for s in saga::schedulers::benchmark_schedulers() {
+            let sched = s.schedule(&inst);
+            prop_assert!(
+                sched.verify(&inst).is_ok(),
+                "{} invalid: {:?}",
+                s.name(),
+                sched.verify(&inst)
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_equals_max_finish(inst in arb_instance()) {
+        let sched = saga::schedulers::Heft.schedule(&inst);
+        let max_finish = sched
+            .assignments()
+            .iter()
+            .map(|a| a.finish)
+            .fold(0.0f64, f64::max);
+        prop_assert_eq!(sched.makespan(), max_finish);
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless(inst in arb_instance()) {
+        let back = Instance::from_json(&inst.to_json()).unwrap();
+        prop_assert_eq!(inst.graph.task_count(), back.graph.task_count());
+        prop_assert_eq!(inst.graph.dependency_count(), back.graph.dependency_count());
+        prop_assert_eq!(inst.network.node_count(), back.network.node_count());
+        for t in inst.graph.tasks() {
+            prop_assert_eq!(inst.graph.cost(t), back.graph.cost(t));
+        }
+        for (a, b, c) in inst.graph.dependencies() {
+            prop_assert_eq!(back.graph.dependency_cost(a, b), Some(c));
+        }
+        for u in inst.network.nodes() {
+            prop_assert_eq!(inst.network.speed(u), back.network.speed(u));
+            for v in inst.network.nodes() {
+                let x = inst.network.link(u, v);
+                let y = back.network.link(u, v);
+                prop_assert!(x == y || (x.is_infinite() && y.is_infinite()));
+            }
+        }
+    }
+
+    #[test]
+    fn upward_rank_decreases_along_edges(inst in arb_instance()) {
+        // a predecessor's upward rank strictly dominates each successor's
+        // (>= plus its own positive avg exec; with zero weights only >=)
+        let rank = saga::core::ranking::upward_rank(&inst);
+        for (a, b, _) in inst.graph.dependencies() {
+            if rank[b.index()].is_finite() {
+                prop_assert!(rank[a.index()] >= rank[b.index()] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn duplex_never_worse_than_components(inst in arb_instance()) {
+        use saga::schedulers::Scheduler;
+        let d = saga::schedulers::Duplex.schedule(&inst).makespan();
+        let a = saga::schedulers::MinMin.schedule(&inst).makespan();
+        let b = saga::schedulers::MaxMin.schedule(&inst).makespan();
+        if d.is_finite() {
+            prop_assert!(d <= a + 1e-9 && d <= b + 1e-9);
+        } else {
+            prop_assert!(!a.is_finite() && !b.is_finite());
+        }
+    }
+
+    #[test]
+    fn graph_mutations_preserve_symmetry(
+        nt in 2usize..6,
+        edges in proptest::collection::vec((0usize..6, 0usize..6, 0.0f64..1.0), 0..12),
+        removals in proptest::collection::vec(0usize..12, 0..6),
+    ) {
+        let mut g = TaskGraph::new();
+        for i in 0..nt {
+            g.add_task(format!("t{i}"), 1.0);
+        }
+        for (a, b, c) in &edges {
+            let (a, b) = (*a % nt, *b % nt);
+            let _ = g.add_dependency(
+                saga::core::TaskId(a as u32),
+                saga::core::TaskId(b as u32),
+                *c,
+            );
+        }
+        let deps: Vec<_> = g.dependencies().map(|(a, b, _)| (a, b)).collect();
+        for r in &removals {
+            if !deps.is_empty() {
+                let (a, b) = deps[r % deps.len()];
+                let _ = g.remove_dependency(a, b);
+            }
+        }
+        // acyclic and symmetric after arbitrary mutation
+        prop_assert_eq!(g.topological_order().len(), g.task_count());
+        for t in g.tasks() {
+            for e in g.successors(t) {
+                prop_assert!(g.predecessors(e.task).iter().any(|p| p.task == t));
+            }
+            for e in g.predecessors(t) {
+                prop_assert!(g.successors(e.task).iter().any(|s| s.task == t));
+            }
+        }
+    }
+}
