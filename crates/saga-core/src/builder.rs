@@ -192,35 +192,21 @@ impl<'a> ScheduleBuilder<'a> {
             self.inst.graph.task_count(),
             "scheduler left tasks unplaced"
         );
-        let assignments: Vec<Assignment> = self
-            .inst
-            .graph
-            .tasks()
-            .map(|t| {
-                let start = self.finish[t.index()]
-                    - self
-                        .inst
-                        .network
-                        .exec_time(self.inst.graph.cost(t), self.node_of[t.index()]);
-                // start = finish - duration is exact for finite values; for an
-                // infinite finish, recover the recorded slot start instead.
-                let start = if start.is_finite() {
-                    start
-                } else {
-                    self.timelines[self.node_of[t.index()].index()]
-                        .iter()
-                        .find(|s| s.task == t)
-                        .map(|s| s.start)
-                        .unwrap_or(0.0)
-                };
-                Assignment {
-                    task: t,
-                    node: self.node_of[t.index()],
-                    start,
-                    finish: self.finish[t.index()],
-                }
-            })
-            .collect();
+        // Emit the starts recorded at placement time. Recomputing them as
+        // `finish - duration` loses an ulp, which is enough to re-order a
+        // zero-duration task behind the slot whose boundary it sits on and
+        // make verify() report a phantom overlap.
+        let mut assignments: Vec<Assignment> = Vec::with_capacity(self.placed_count);
+        for (vi, timeline) in self.timelines.iter().enumerate() {
+            for s in timeline {
+                assignments.push(Assignment {
+                    task: s.task,
+                    node: NodeId(vi as u32),
+                    start: s.start,
+                    finish: s.finish,
+                });
+            }
+        }
         Schedule::from_assignments(self.inst.network.node_count(), assignments)
     }
 }

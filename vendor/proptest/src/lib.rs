@@ -1,0 +1,300 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, range and tuple strategies,
+//! [`collection::vec`], [`any`], [`ProptestConfig`], and the [`proptest!`]
+//! macro with `prop_assert!`/`prop_assert_eq!`. Each test runs its body
+//! over `cases` freshly sampled inputs from a deterministic seed
+//! (overridable via the `PROPTEST_SEED` environment variable). Failing
+//! cases panic with the sampled inputs' debug representation; there is no
+//! shrinking.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod test_runner;
+
+pub use test_runner::ProptestConfig;
+
+/// The glob import every proptest suite starts with.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values, resampling until `f` accepts one.
+    ///
+    /// # Panics
+    /// Panics after 1000 consecutive rejections.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive samples: {}", self.whence);
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy producing one fixed value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical full-range strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for a type, `any::<bool>()` style.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// A full-range strategy for one primitive type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_primitive {
+    ($($t:ty => $body:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            #[allow(clippy::redundant_closure_call)]
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                ($body)(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_primitive!(
+    bool => |rng: &mut StdRng| rng.gen::<bool>(),
+    u8 => |rng: &mut StdRng| rng.gen::<u8>(),
+    u16 => |rng: &mut StdRng| rng.gen::<u16>(),
+    u32 => |rng: &mut StdRng| rng.gen::<u32>(),
+    u64 => |rng: &mut StdRng| rng.gen::<u64>(),
+    usize => |rng: &mut StdRng| rng.gen::<usize>(),
+    i32 => |rng: &mut StdRng| rng.gen::<i32>(),
+    i64 => |rng: &mut StdRng| rng.gen::<i64>(),
+    f64 => |rng: &mut StdRng| rng.gen::<f64>(),
+    f32 => |rng: &mut StdRng| rng.gen::<f32>(),
+);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7),
+);
+
+/// Asserts inside a [`proptest!`] body; failure reports the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the upstream form
+/// `proptest! { #![proptest_config(expr)] #[test] fn name(arg in strategy, ...) { body } ... }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::seeded_rng();
+                for case in 0..config.cases {
+                    let inputs = ( $( $crate::Strategy::sample(&($strat), &mut rng), )+ );
+                    let case_debug = format!("{inputs:?}");
+                    let ( $($arg,)+ ) = inputs;
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest case {case}/{} failed for inputs: {case_debug}",
+                            config.cases
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_sample_within_bounds() {
+        let mut rng = crate::test_runner::seeded_rng();
+        let s = (1usize..=4, 0.0f64..2.0).prop_map(|(n, x)| vec![x; n]);
+        for _ in 0..100 {
+            let v = crate::Strategy::sample(&s, &mut rng);
+            assert!((1..=4).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..2.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_multiple_args(a in 0usize..10, b in 5i64..6, flag in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert_ne!(flag, !flag);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_works_without_config(x in 0.0f64..=1.0) {
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Distributions backing [`Rng::gen`](crate::Rng::gen),
+//! [`Rng::gen_range`](crate::Rng::gen_range) and
+//! [`Rng::sample`](crate::Rng::sample).
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution per type: uniform over the full integer range,
+/// uniform on `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+/// Converts 53 random bits into a uniform `f64` in `[0, 1)`.
+#[inline]
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Converts 24 random bits into a uniform `f32` in `[0, 1)`.
+#[inline]
+pub(crate) fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        unit_f32(rng)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64);
+
+pub mod uniform {
+    //! Uniform sampling from ranges.
+
+    use super::unit_f64;
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a bounded range.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform draw from `[lo, hi)`.
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        /// Uniform draw from `[lo, hi]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128;
+                    let draw = ((rng.next_u64() as u128) % span) as i128;
+                    (lo as i128 + draw) as $t
+                }
+                #[inline]
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let draw = ((rng.next_u64() as u128) % span) as i128;
+                    (lo as i128 + draw) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        #[inline]
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            let v = lo + unit_f64(rng) * (hi - lo);
+            // guard against rounding up to an excluded upper bound
+            if v >= hi {
+                lo.max(hi - (hi - lo) * f64::EPSILON)
+            } else {
+                v
+            }
+        }
+        #[inline]
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+            (lo + u * (hi - lo)).clamp(lo, hi)
+        }
+    }
+
+    impl SampleUniform for f32 {
+        #[inline]
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            f64::sample_half_open(rng, lo as f64, hi as f64) as f32
+        }
+        #[inline]
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            f64::sample_inclusive(rng, lo as f64, hi as f64) as f32
+        }
+    }
+
+    /// Range expressions accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        /// Whether the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_half_open(rng, self.start, self.end)
+        }
+        fn is_empty(&self) -> bool {
+            // NaN bounds compare as incomparable and therefore count as empty
+            !matches!(
+                self.start.partial_cmp(&self.end),
+                Some(std::cmp::Ordering::Less)
+            )
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_inclusive(rng, *self.start(), *self.end())
+        }
+        fn is_empty(&self) -> bool {
+            // NaN bounds compare as incomparable and therefore count as empty
+            !matches!(
+                self.start().partial_cmp(self.end()),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            )
+        }
+    }
+}
+
+/// A reusable uniform distribution over `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T: uniform::SampleUniform> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: uniform::SampleUniform> Uniform<T> {
+    /// Uniform over `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(lo < hi, "Uniform::new called with empty range");
+        Uniform { lo, hi }
+    }
+
+    /// Uniform over `[lo, hi]`.
+    pub fn new_inclusive(lo: T, hi: T) -> UniformInclusive<T> {
+        assert!(lo <= hi, "Uniform::new_inclusive called with empty range");
+        UniformInclusive { lo, hi }
+    }
+}
+
+impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.lo, self.hi)
+    }
+}
+
+/// A reusable uniform distribution over `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformInclusive<T: uniform::SampleUniform> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: uniform::SampleUniform> Distribution<T> for UniformInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleUniform;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x: u32 = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: f64 = rng.gen_range(0.25..=0.75);
+            assert!((0.25..=0.75).contains(&y));
+            let z: usize = rng.gen_range(0..=4);
+            assert!(z <= 4);
+        }
+    }
+
+    #[test]
+    fn inclusive_f64_hits_full_span() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (mut lo_seen, mut hi_seen) = (f64::INFINITY, f64::NEG_INFINITY);
+        for _ in 0..10_000 {
+            let v = f64::sample_inclusive(&mut rng, 0.0, 1.0);
+            lo_seen = lo_seen.min(v);
+            hi_seen = hi_seen.max(v);
+        }
+        assert!(lo_seen < 0.01 && hi_seen > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: u32 = rng.gen_range(5..5);
+    }
+}

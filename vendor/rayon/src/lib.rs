@@ -1,0 +1,98 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no network access, so this crate maps rayon's
+//! parallel-iterator entry points onto ordinary sequential `std` iterators:
+//! `par_iter`, `par_iter_mut`, and `into_par_iter` return the matching
+//! sequential iterator, and every adaptor (`map`, `filter`, `collect`, …)
+//! is then just the `std::iter::Iterator` method of the same name. Results
+//! are identical to a rayon run — the workspace's parallel regions are
+//! pure fan-out/fan-in — only wall-clock parallelism is lost. Swapping the
+//! real rayon back in is a one-line manifest change.
+
+#![warn(missing_docs)]
+
+/// Everything call sites need: the three `*par_iter*` entry-point traits.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// Owned conversion into a (sequential stand-in for a) parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item;
+    /// The iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// `rayon::IntoParallelIterator::into_par_iter`, sequentially.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Borrowing conversion, `collection.par_iter()`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type (a reference).
+    type Item: 'data;
+    /// The iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// `rayon::IntoParallelRefIterator::par_iter`, sequentially.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mutably borrowing conversion, `collection.par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The element type (a mutable reference).
+    type Item: 'data;
+    /// The iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// `rayon::IntoParallelRefMutIterator::par_iter_mut`, sequentially.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Item = <&'data mut C as IntoIterator>::Item;
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let xs = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = xs.into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut xs = vec![1, 2, 3];
+        xs.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(xs, vec![11, 12, 13]);
+    }
+}

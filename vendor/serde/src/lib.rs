@@ -1,0 +1,401 @@
+//! Offline stand-in for `serde`: a value-tree serialization model.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal serde: [`Serialize`] converts a value into a JSON-shaped
+//! [`Value`] tree and [`Deserialize`] reads one back. The derive macros in
+//! `serde_derive` generate impls against exactly this API, and `serde_json`
+//! renders/parses the tree as JSON text. Externally-tagged enum encoding and
+//! newtype-struct transparency match upstream serde's defaults, so the JSON
+//! this produces looks like what real serde would emit.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped tree value.
+///
+/// Object fields keep insertion order (a `Vec` of pairs, not a map): the
+/// workspace serializes small DTOs where ordered output and lossless
+/// round-trips matter more than lookup speed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// Any JSON number (integers included).
+    Number(f64),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object's field list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array's elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks a field up by name in an object.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// Renders compact JSON, matching `serde_json::to_string`.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(x) => write_number(f, *x),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Writes a number the way serde_json does: integers without a fractional
+/// part, non-finite values as `null`, everything else via Rust's shortest
+/// round-trip float formatting.
+pub fn write_number(f: &mut impl fmt::Write, x: f64) -> fmt::Result {
+    if !x.is_finite() {
+        f.write_str("null")
+    } else if x == x.trunc() && x.abs() < 9.007_199_254_740_992e15 {
+        write!(f, "{}", x as i64)
+    } else {
+        write!(f, "{x}")
+    }
+}
+
+/// Writes a JSON string literal with escapes.
+pub fn write_escaped(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+/// A (de)serialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a tree value.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads `self` back out of a tree value.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Derive-macro helper: looks up a required object field.
+#[doc(hidden)]
+pub fn __field<'a>(fields: &'a [(String, Value)], name: &str) -> Result<&'a Value, Error> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if self.is_finite() {
+                    Value::Number(*self as f64)
+                } else {
+                    // serde_json renders non-finite floats as null
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64().map(|x| x as $t).ok_or_else(|| Error::custom("expected number"))
+            }
+        }
+    )*};
+}
+
+serde_float!(f32, f64);
+
+macro_rules! serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let x = v.as_f64().ok_or_else(|| Error::custom("expected number"))?;
+                if x.trunc() != x {
+                    return Err(Error::custom("expected integer"));
+                }
+                // range-check before the cast: `as` would silently saturate
+                if x < <$t>::MIN as f64 || x > <$t>::MAX as f64 {
+                    return Err(Error::custom(format!(
+                        "integer {x} out of range for {}", stringify!($t)
+                    )));
+                }
+                Ok(x as $t)
+            }
+        }
+    )*};
+}
+
+serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::custom("expected tuple array"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expected}, got {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_display_matches_json() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(1.5)),
+            ("b".into(), Value::Array(vec![Value::Null, Value::Bool(true)])),
+            ("c".into(), Value::String("x\"y".into())),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1.5,"b":[null,true],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Value::Number(3.0).to_string(), "3");
+        assert_eq!(Value::Number(-0.25).to_string(), "-0.25");
+    }
+
+    #[test]
+    fn option_round_trip() {
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<f64>::from_value(&Value::Number(2.0)).unwrap(), Some(2.0));
+        assert_eq!(Some(2.0f64).to_value(), Value::Number(2.0));
+        assert_eq!(Option::<f64>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected() {
+        assert!(u32::from_value(&Value::Number(-1.0)).is_err());
+        assert!(u32::from_value(&Value::Number(4_294_967_296.0)).is_err());
+        assert!(i32::from_value(&Value::Number(2_147_483_648.0)).is_err());
+        assert_eq!(u32::from_value(&Value::Number(4_294_967_295.0)).unwrap(), u32::MAX);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = ("x".to_string(), 1.25f64, 7u32);
+        let v = t.to_value();
+        let back: (String, f64, u32) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,459 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable in this no-network build environment, so
+//! the item is parsed directly from the raw [`proc_macro::TokenStream`] and
+//! the impls are emitted as formatted source text. The supported shapes are
+//! exactly what the workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, like upstream serde),
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   upstream serde's default representation).
+//!
+//! Generic types and `#[serde(...)]` attributes are not supported and fail
+//! with a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` (value-tree conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree reconstruction).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let body = match dir {
+        Direction::Serialize => gen_serialize(&name, &shape),
+        Direction::Deserialize => gen_deserialize(&name, &shape),
+    };
+    body.parse().unwrap()
+}
+
+/// Errors on `#[serde(...)]` at an attribute position (`tokens[i]` is `#`):
+/// the vendored derive implements none of upstream's attributes, and
+/// silently ignoring one would change the emitted JSON.
+fn reject_serde_attr(tokens: &[TokenTree], i: usize) -> Result<(), String> {
+    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+        if let Some(TokenTree::Ident(id)) = g.stream().into_iter().next() {
+            if id.to_string() == "serde" {
+                return Err(
+                    "#[serde(...)] attributes are not supported by the vendored serde_derive \
+                     (see vendor/serde_derive/src/lib.rs)"
+                        .into(),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Splits `struct Name { ... }` / `struct Name(...);` / `enum Name { ... }`
+/// out of the derive input, skipping attributes and visibility.
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut kind: Option<&'static str> = None;
+    let mut name = String::new();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                reject_serde_attr(&tokens, i)?;
+                i += 2; // `#` plus the `[...]` group
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(if s == "struct" { "struct" } else { "enum" });
+                    if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                        name = n.to_string();
+                    } else {
+                        return Err("expected a name after struct/enum".into());
+                    }
+                    i += 2;
+                    break;
+                }
+                // visibility and other leading idents
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.ok_or("derive input is neither a struct nor an enum")?;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Shape::NamedStruct {
+                    fields: parse_named_fields(g.stream())?,
+                }
+            } else {
+                Shape::Enum {
+                    variants: parse_variants(g.stream())?,
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                return Err("unexpected parentheses after enum name".into());
+            }
+            Shape::TupleStruct {
+                arity: count_top_level(g.stream()) ,
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+        _ => return Err(format!("unsupported item shape for `{name}`")),
+    };
+    Ok((name, shape))
+}
+
+/// Field names of a named-field body: `vis? name: Type,`*. Commas inside
+/// generic arguments are skipped by tracking `<`/`>` depth (`->` is
+/// recognised and ignored).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // skip attributes and visibility
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                reject_serde_attr(&tokens, i)?;
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match &tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    _ => return Err(format!("expected `:` after field `{}`", fields.last().unwrap())),
+                }
+                i = skip_type(&tokens, i);
+            }
+            other => return Err(format!("unexpected token `{other}` in struct body")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type expression, stopping after the next top-level `,`
+/// (or at the end of the body).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if prev_dash => {} // the `->` of a fn-pointer type
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    return i + 1;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                reject_serde_attr(&tokens, i)?;
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let kind = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantKind::Named(parse_named_fields(g.stream())?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantKind::Tuple(count_top_level(g.stream()))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // skip an optional discriminant `= expr`
+                if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    i += 1;
+                    i = skip_type(&tokens, i).saturating_sub(1);
+                }
+                variants.push(Variant { name, kind });
+            }
+            other => return Err(format!("unexpected token `{other}` in enum body")),
+        }
+    }
+    Ok(variants)
+}
+
+/// Number of comma-separated entries at angle-bracket depth zero (0 for an
+/// empty stream).
+fn count_top_level(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut commas = 0;
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if prev_dash => {}
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => commas += 1,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+    let trailing = matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',');
+    commas + usize::from(!trailing)
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(fields)"
+            )
+        }
+        Shape::TupleStruct { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum { variants } => {
+            let arms: String = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn serialize_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+        ),
+        VariantKind::Tuple(arity) => {
+            let binders: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+            let inner = if *arity == 1 {
+                "::serde::Serialize::to_value(x0)".to_string()
+            } else {
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{name}::{vname}({binds}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {inner})]),\n",
+                binds = binders.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let binds = fields.join(", ");
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                 ::serde::Value::Object(vec![{}]))]),\n",
+                pushes.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::__field(fields, {f:?})?)?")
+                })
+                .collect();
+            format!(
+                "let fields = v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct { arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if items.len() != {arity} {{ return Err(::serde::Error::custom(\
+                 \"wrong tuple arity for {name}\")); }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum { variants } => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("{vname:?} => Ok({name}::{vname}),\n", vname = v.name))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                )),
+                VariantKind::Tuple(arity) => {
+                    let inits: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => {{\n\
+                         let items = inner.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array for {name}::{vname}\"))?;\n\
+                         if items.len() != {arity} {{ return Err(::serde::Error::custom(\
+                         \"wrong arity for {name}::{vname}\")); }}\n\
+                         Ok({name}::{vname}({}))\n}},\n",
+                        inits.join(", ")
+                    ))
+                }
+                VariantKind::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::__field(fields, {f:?})?)?"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => {{\n\
+                         let fields = inner.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object for {name}::{vname}\"))?;\n\
+                         Ok({name}::{vname} {{ {} }})\n}},\n",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match v {{\n\
+         ::serde::Value::String(s) => match s.as_str() {{\n\
+         {unit_arms}\
+         other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+         }},\n\
+         ::serde::Value::Object(tagged) if tagged.len() == 1 => {{\n\
+         let (tag, inner) = &tagged[0];\n\
+         match tag.as_str() {{\n\
+         {tagged_arms}\
+         other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+         }}\n\
+         }},\n\
+         _ => Err(::serde::Error::custom(\"expected externally tagged {name}\")),\n\
+         }}"
+    )
+}
