@@ -1,0 +1,102 @@
+//! Hot-path benchmarks for the allocation-free scheduling kernel:
+//!
+//! * `kernel/ctx_reuse_*` vs `kernel/fresh_context_*` — one long-lived
+//!   [`SchedContext`] against a fresh context per run, the trade the PISA
+//!   annealer exploits tens of thousands of times per cell;
+//! * `kernel/eft_query` — the inner-loop earliest-finish-time query against
+//!   the cached cost tables on a half-placed 50-task instance;
+//! * `pisa/quick_cell_*` — an end-to-end PISA quick-config pairwise cell on
+//!   50-task instances (the acceptance-criteria workload).
+//!
+//! Set `BENCH_JSON=results/bench.json` to append machine-readable medians.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng;
+use saga_core::{Instance, SchedContext};
+use saga_pisa::{GeneralPerturber, Pisa, PisaConfig};
+use saga_schedulers::util::fixtures;
+use saga_schedulers::Scheduler;
+use std::hint::black_box;
+
+fn inst_50t() -> Instance {
+    fixtures::random_instance(42, 50, 4, 0.15)
+}
+
+fn bench_ctx_reuse(c: &mut Criterion) {
+    let inst = inst_50t();
+    let mut group = c.benchmark_group("kernel");
+    for (label, s) in [
+        ("heft_50t", &saga_schedulers::Heft as &dyn Scheduler),
+        ("cpop_50t", &saga_schedulers::Cpop),
+        ("minmin_50t", &saga_schedulers::MinMin),
+    ] {
+        let mut ctx = SchedContext::new();
+        group.bench_function(format!("ctx_reuse_{label}"), |b| {
+            b.iter(|| black_box(s.makespan_into(black_box(&inst), &mut ctx)))
+        });
+        group.bench_function(format!("fresh_context_{label}"), |b| {
+            b.iter(|| black_box(s.schedule(black_box(&inst)).makespan()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eft_query(c: &mut Criterion) {
+    let inst = inst_50t();
+    let mut ctx = SchedContext::new();
+    ctx.reset(&inst);
+    // place the first half of the topological order so queries see realistic
+    // timelines and predecessor fans
+    let order: Vec<_> = ctx.topo_order().to_vec();
+    for &t in order.iter().take(order.len() / 2) {
+        let (s, _) = ctx.eft(t, saga_core::NodeId(t.0 % 4), false);
+        ctx.place(t, saga_core::NodeId(t.0 % 4), s);
+    }
+    let probe: Vec<_> = ctx.ready().to_vec();
+    c.bench_function("kernel/eft_query", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &t in &probe {
+                for v in ctx.nodes() {
+                    acc += ctx.eft(t, v, true).1;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_pisa_cell(c: &mut Criterion) {
+    let init = |rng: &mut StdRng| {
+        let seed = rng.gen::<u64>();
+        fixtures::random_instance(seed, 50, 4, 0.15)
+    };
+    let mut group = c.benchmark_group("pisa");
+    group.sample_size(3);
+    for (label, target, baseline) in [
+        (
+            "quick_cell_heft_vs_cpop_50t",
+            &saga_schedulers::Heft as &dyn Scheduler,
+            &saga_schedulers::Cpop as &dyn Scheduler,
+        ),
+        (
+            "quick_cell_minmin_vs_etf_50t",
+            &saga_schedulers::MinMin,
+            &saga_schedulers::Etf,
+        ),
+    ] {
+        let perturber = GeneralPerturber::default();
+        let pisa = Pisa {
+            target,
+            baseline,
+            perturber: &perturber,
+            config: PisaConfig::quick(11),
+        };
+        group.bench_function(label, |b| b.iter(|| black_box(pisa.run(&init).ratio)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ctx_reuse, bench_eft_query, bench_pisa_cell);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! One-shot wall-clock snapshot of the scheduling hot paths, printed as
+//! JSON. Used to track the perf trajectory across PRs (`results/BENCH_*.json`)
+//! and to compare the allocation-free kernel against the pre-kernel baseline
+//! (`results/bench.json`).
+//!
+//! ```text
+//! cargo run --release -p saga-bench --bin perf_snapshot > snapshot.json
+//! ```
+
+use rand::rngs::StdRng;
+use saga_core::Instance;
+use saga_pisa::{GeneralPerturber, Pisa, PisaConfig};
+use saga_schedulers::util::fixtures;
+use saga_schedulers::Scheduler;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A 50-task adversarial-search initial instance (the acceptance-criteria
+/// workload: a PISA quick-config cell over 50-task instances).
+fn init_50(rng: &mut StdRng) -> Instance {
+    let seed = rand::Rng::gen::<u64>(rng);
+    fixtures::random_instance(seed, 50, 4, 0.15)
+}
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn pisa_cell_ms(target: &dyn Scheduler, baseline: &dyn Scheduler) -> f64 {
+    let perturber = GeneralPerturber::default();
+    let pisa = Pisa {
+        target,
+        baseline,
+        perturber: &perturber,
+        config: PisaConfig::quick(11),
+    };
+    time_ms(|| {
+        black_box(pisa.run(&|rng| init_50(rng)).ratio);
+    })
+}
+
+fn sched_throughput_ms(s: &dyn Scheduler, inst: &Instance, reps: usize) -> f64 {
+    time_ms(|| {
+        for _ in 0..reps {
+            black_box(s.schedule(black_box(inst)).makespan());
+        }
+    }) / reps as f64
+}
+
+fn main() {
+    let inst50 = fixtures::random_instance(42, 50, 4, 0.15);
+    let mut out = Vec::new();
+
+    // warm-up pass so the first measurement is not paying page faults
+    black_box(saga_schedulers::Heft.schedule(&inst50).makespan());
+
+    out.push((
+        "pisa_cell_quick_heft_vs_cpop_ms",
+        pisa_cell_ms(&saga_schedulers::Heft, &saga_schedulers::Cpop),
+    ));
+    out.push((
+        "pisa_cell_quick_minmin_vs_etf_ms",
+        pisa_cell_ms(&saga_schedulers::MinMin, &saga_schedulers::Etf),
+    ));
+    for s in saga_schedulers::benchmark_schedulers() {
+        if matches!(s.name(), "HEFT" | "CPoP" | "ETF" | "MinMin" | "GDL" | "BIL") {
+            let label: &'static str = match s.name() {
+                "HEFT" => "sched_heft_50t_ms",
+                "CPoP" => "sched_cpop_50t_ms",
+                "ETF" => "sched_etf_50t_ms",
+                "MinMin" => "sched_minmin_50t_ms",
+                "GDL" => "sched_gdl_50t_ms",
+                _ => "sched_bil_50t_ms",
+            };
+            out.push((label, sched_throughput_ms(&*s, &inst50, 50)));
+        }
+    }
+
+    let fields: Vec<String> = out
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v:.4}"))
+        .collect();
+    println!("{{\n{}\n}}", fields.join(",\n"));
+}

@@ -1,47 +1,29 @@
 //! Incremental schedule construction shared by every list scheduler.
 //!
-//! `ScheduleBuilder` keeps a per-node timeline of placed tasks, answers
-//! "earliest feasible start" queries (with or without HEFT-style insertion
-//! into idle gaps), and tracks data-ready times implied by previously placed
-//! predecessors. Every algorithm in `saga-schedulers` is a strategy over this
-//! one substrate, which is what makes their schedules comparable.
+//! `ScheduleBuilder` is the borrow-checked convenience wrapper over the
+//! allocation-free [`SchedContext`] kernel: it pairs a context with the
+//! instance it was reset for, so one-shot callers get the old
+//! `new → place → finish` API while hot loops (PISA) hold a long-lived
+//! context and call [`Scheduler::schedule_into`] instead. Both paths share
+//! one implementation, which is what keeps their schedules bit-identical.
+//!
+//! [`Scheduler::schedule_into`]: https://docs.rs/saga-schedulers
 
-use crate::{Assignment, Instance, NodeId, Schedule, TaskId};
-
-/// A placed interval on a node timeline.
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    start: f64,
-    finish: f64,
-    task: TaskId,
-}
+use crate::{Instance, NodeId, SchedContext, Schedule, TaskId};
 
 /// Builds a [`Schedule`] one task at a time.
 #[derive(Debug, Clone)]
 pub struct ScheduleBuilder<'a> {
     inst: &'a Instance,
-    /// Per-node timelines, each sorted by start time.
-    timelines: Vec<Vec<Slot>>,
-    /// Finish time per task (`NaN` until placed).
-    finish: Vec<f64>,
-    /// Node per task (undefined until placed).
-    node_of: Vec<NodeId>,
-    placed: Vec<bool>,
-    placed_count: usize,
+    ctx: SchedContext,
 }
 
 impl<'a> ScheduleBuilder<'a> {
     /// Starts an empty schedule for `inst`.
     pub fn new(inst: &'a Instance) -> Self {
-        let t = inst.graph.task_count();
-        ScheduleBuilder {
-            inst,
-            timelines: vec![Vec::new(); inst.network.node_count()],
-            finish: vec![f64::NAN; t],
-            node_of: vec![NodeId(0); t],
-            placed: vec![false; t],
-            placed_count: 0,
-        }
+        let mut ctx = SchedContext::new();
+        ctx.reset(inst);
+        ScheduleBuilder { inst, ctx }
     }
 
     /// The instance being scheduled.
@@ -49,15 +31,20 @@ impl<'a> ScheduleBuilder<'a> {
         self.inst
     }
 
+    /// The underlying kernel context (cost tables, ready queue, timelines).
+    pub fn ctx(&self) -> &SchedContext {
+        &self.ctx
+    }
+
     /// Whether `t` has been placed.
     #[inline]
     pub fn is_placed(&self, t: TaskId) -> bool {
-        self.placed[t.index()]
+        self.ctx.is_placed(t)
     }
 
     /// Number of tasks placed so far.
     pub fn placed_count(&self) -> usize {
-        self.placed_count
+        self.ctx.placed_count()
     }
 
     /// Finish time of a placed task.
@@ -66,24 +53,23 @@ impl<'a> ScheduleBuilder<'a> {
     /// Panics (debug) if the task has not been placed.
     #[inline]
     pub fn finish_time(&self, t: TaskId) -> f64 {
-        debug_assert!(self.placed[t.index()], "task {t} not placed yet");
-        self.finish[t.index()]
+        self.ctx.finish_time(t)
     }
 
     /// Node of a placed task.
     #[inline]
     pub fn node_of(&self, t: TaskId) -> NodeId {
-        debug_assert!(self.placed[t.index()], "task {t} not placed yet");
-        self.node_of[t.index()]
+        self.ctx.node_of(t)
     }
 
     /// Whether every predecessor of `t` has been placed (i.e. `t` is ready).
     pub fn is_ready(&self, t: TaskId) -> bool {
-        self.inst
-            .graph
-            .predecessors(t)
-            .iter()
-            .all(|e| self.placed[e.task.index()])
+        self.ctx.is_ready(t)
+    }
+
+    /// Unplaced tasks whose predecessors are all placed, ascending by id.
+    pub fn ready(&self) -> &[TaskId] {
+        self.ctx.ready()
     }
 
     /// Earliest time all of `t`'s input data can be present on `v`, given
@@ -93,56 +79,25 @@ impl<'a> ScheduleBuilder<'a> {
     /// # Panics
     /// Panics (debug) if a predecessor is unplaced.
     pub fn data_ready_time(&self, t: TaskId, v: NodeId) -> f64 {
-        let mut ready = 0.0f64;
-        for e in self.inst.graph.predecessors(t) {
-            debug_assert!(self.placed[e.task.index()], "predecessor {} unplaced", e.task);
-            let p = e.task.index();
-            let arrival =
-                self.finish[p] + self.inst.network.comm_time(e.cost, self.node_of[p], v);
-            ready = ready.max(arrival);
-        }
-        ready
+        self.ctx.data_ready_time(t, v)
     }
 
     /// Earliest start on `v` at or after `ready` for a task of duration
     /// `duration`, considering only the tail of the timeline (no insertion).
     pub fn earliest_start_append(&self, v: NodeId, ready: f64) -> f64 {
-        match self.timelines[v.index()].last() {
-            Some(slot) => slot.finish.max(ready),
-            None => ready,
-        }
+        self.ctx.earliest_start_append(v, ready)
     }
 
     /// Earliest start on `v` at or after `ready`, allowed to fill an idle gap
     /// between already-placed tasks (HEFT's insertion policy).
     pub fn earliest_start_insertion(&self, v: NodeId, ready: f64, duration: f64) -> f64 {
-        let slots = &self.timelines[v.index()];
-        if duration.is_infinite() {
-            // only the tail can host a never-ending task
-            return self.earliest_start_append(v, ready);
-        }
-        let mut candidate = ready;
-        for s in slots {
-            if candidate + duration <= s.start + crate::schedule::TIME_EPS * s.start.abs().max(1.0)
-            {
-                return candidate;
-            }
-            candidate = candidate.max(s.finish);
-        }
-        candidate
+        self.ctx.earliest_start_insertion(v, ready, duration)
     }
 
     /// The earliest-finish-time query used by HEFT-family schedulers:
     /// returns `(start, finish)` for placing `t` on `v` now.
     pub fn eft(&self, t: TaskId, v: NodeId, insertion: bool) -> (f64, f64) {
-        let duration = self.inst.network.exec_time(self.inst.graph.cost(t), v);
-        let ready = self.data_ready_time(t, v);
-        let start = if insertion {
-            self.earliest_start_insertion(v, ready, duration)
-        } else {
-            self.earliest_start_append(v, ready)
-        };
-        (start, start + duration)
+        self.ctx.eft(t, v, insertion)
     }
 
     /// Places `t` on `v` at `start`; the finish time is derived from the
@@ -152,34 +107,18 @@ impl<'a> ScheduleBuilder<'a> {
     /// Panics (debug) on double placement. The caller is responsible for
     /// passing a feasible `start` (as returned by [`ScheduleBuilder::eft`]).
     pub fn place(&mut self, t: TaskId, v: NodeId, start: f64) {
-        debug_assert!(!self.placed[t.index()], "task {t} placed twice");
-        let duration = self.inst.network.exec_time(self.inst.graph.cost(t), v);
-        let finish = start + duration;
-        let timeline = &mut self.timelines[v.index()];
-        let pos = timeline.partition_point(|s| s.start <= start);
-        timeline.insert(pos, Slot { start, finish, task: t });
-        self.finish[t.index()] = finish;
-        self.node_of[t.index()] = v;
-        self.placed[t.index()] = true;
-        self.placed_count += 1;
+        self.ctx.place(t, v, start);
     }
 
     /// Convenience: compute the insertion EFT on `v` and place there.
     /// Returns the finish time.
     pub fn place_eft(&mut self, t: TaskId, v: NodeId, insertion: bool) -> f64 {
-        let (start, finish) = self.eft(t, v, insertion);
-        self.place(t, v, start);
-        finish
+        self.ctx.place_eft(t, v, insertion)
     }
 
     /// Current makespan over placed tasks.
     pub fn current_makespan(&self) -> f64 {
-        self.finish
-            .iter()
-            .zip(&self.placed)
-            .filter(|&(_, &p)| p)
-            .map(|(&f, _)| f)
-            .fold(0.0, f64::max)
+        self.ctx.current_makespan()
     }
 
     /// Finalizes into a [`Schedule`].
@@ -187,27 +126,7 @@ impl<'a> ScheduleBuilder<'a> {
     /// # Panics
     /// Panics if any task is unplaced — schedulers must place every task.
     pub fn finish(self) -> Schedule {
-        assert_eq!(
-            self.placed_count,
-            self.inst.graph.task_count(),
-            "scheduler left tasks unplaced"
-        );
-        // Emit the starts recorded at placement time. Recomputing them as
-        // `finish - duration` loses an ulp, which is enough to re-order a
-        // zero-duration task behind the slot whose boundary it sits on and
-        // make verify() report a phantom overlap.
-        let mut assignments: Vec<Assignment> = Vec::with_capacity(self.placed_count);
-        for (vi, timeline) in self.timelines.iter().enumerate() {
-            for s in timeline {
-                assignments.push(Assignment {
-                    task: s.task,
-                    node: NodeId(vi as u32),
-                    start: s.start,
-                    finish: s.finish,
-                });
-            }
-        }
-        Schedule::from_assignments(self.inst.network.node_count(), assignments)
+        self.ctx.snapshot_schedule()
     }
 }
 
@@ -231,7 +150,7 @@ mod tests {
         let inst = two_node_instance();
         let mut b = ScheduleBuilder::new(&inst);
         b.place(TaskId(0), NodeId(0), 0.0); // finish 2
-        // same node: no comm
+                                            // same node: no comm
         assert_eq!(b.data_ready_time(TaskId(1), NodeId(0)), 2.0);
         // cross node: 4 bytes / strength 2 = 2
         assert_eq!(b.data_ready_time(TaskId(1), NodeId(1)), 4.0);
@@ -284,7 +203,7 @@ mod tests {
         let mut b = ScheduleBuilder::new(&inst);
         b.place(TaskId(0), NodeId(0), 0.0); // [0,2]
         b.place(TaskId(1), NodeId(0), 6.0); // [6,8]
-        // 2-long task fits in [2,6) gap
+                                            // 2-long task fits in [2,6) gap
         assert_eq!(b.earliest_start_insertion(NodeId(0), 0.0, 2.0), 2.0);
         // 4-long task fits exactly
         assert_eq!(b.earliest_start_insertion(NodeId(0), 0.0, 4.0), 2.0);

@@ -40,7 +40,9 @@ pub fn render(inst: &Instance, sched: &Schedule, width: usize) -> String {
     }
     out.push_str(&format!(
         "{:>5}0{}{:.3}\n",
-        "", " ".repeat(width.saturating_sub(6)), makespan
+        "",
+        " ".repeat(width.saturating_sub(6)),
+        makespan
     ));
     out
 }
@@ -59,8 +61,18 @@ mod tests {
         let sched = Schedule::from_assignments(
             2,
             vec![
-                Assignment { task: TaskId(0), node: NodeId(0), start: 0.0, finish: 1.0 },
-                Assignment { task: TaskId(1), node: NodeId(1), start: 1.0, finish: 2.0 },
+                Assignment {
+                    task: TaskId(0),
+                    node: NodeId(0),
+                    start: 0.0,
+                    finish: 1.0,
+                },
+                Assignment {
+                    task: TaskId(1),
+                    node: NodeId(1),
+                    start: 1.0,
+                    finish: 2.0,
+                },
             ],
         );
         (inst, sched)

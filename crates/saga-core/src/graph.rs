@@ -19,13 +19,58 @@ pub struct DepEdge {
 }
 
 /// A directed acyclic task graph with weighted tasks and dependencies.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct TaskGraph {
     names: Vec<String>,
     costs: Vec<f64>,
     succs: Vec<Vec<DepEdge>>,
     preds: Vec<Vec<DepEdge>>,
     edge_count: usize,
+}
+
+impl Clone for TaskGraph {
+    fn clone(&self) -> Self {
+        TaskGraph {
+            names: self.names.clone(),
+            costs: self.costs.clone(),
+            succs: self.succs.clone(),
+            preds: self.preds.clone(),
+            edge_count: self.edge_count,
+        }
+    }
+
+    /// Reuses the destination's buffers, including the per-task name and
+    /// adjacency allocations — annealing loops clone candidate instances
+    /// every iteration, and this keeps them allocation-free after warm-up.
+    fn clone_from(&mut self, source: &Self) {
+        clone_vec_into(&mut self.names, &source.names, |dst, src| {
+            dst.clear();
+            dst.push_str(src);
+        });
+        self.costs.clear();
+        self.costs.extend_from_slice(&source.costs);
+        clone_vec_into(&mut self.succs, &source.succs, |dst, src| {
+            dst.clear();
+            dst.extend_from_slice(src);
+        });
+        clone_vec_into(&mut self.preds, &source.preds, |dst, src| {
+            dst.clear();
+            dst.extend_from_slice(src);
+        });
+        self.edge_count = source.edge_count;
+    }
+}
+
+/// Element-wise `clone_from` for a vector, truncating or growing `dst` to
+/// `src`'s length while reusing surviving elements' allocations.
+fn clone_vec_into<T: Clone>(dst: &mut Vec<T>, src: &[T], reuse: impl Fn(&mut T, &T)) {
+    dst.truncate(src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        reuse(d, s);
+    }
+    for s in &src[dst.len()..] {
+        dst.push(s.clone());
+    }
 }
 
 impl TaskGraph {
@@ -55,7 +100,11 @@ impl TaskGraph {
     }
 
     /// Fallible version of [`TaskGraph::add_task`].
-    pub fn try_add_task(&mut self, name: impl Into<String>, cost: f64) -> Result<TaskId, GraphError> {
+    pub fn try_add_task(
+        &mut self,
+        name: impl Into<String>,
+        cost: f64,
+    ) -> Result<TaskId, GraphError> {
         if !cost.is_finite() || cost < 0.0 {
             return Err(GraphError::InvalidCost { value: cost });
         }
@@ -136,7 +185,12 @@ impl TaskGraph {
     ///
     /// Rejects self-loops, duplicates, and edges that would form a cycle, so
     /// the graph is a DAG by construction.
-    pub fn add_dependency(&mut self, from: TaskId, to: TaskId, cost: f64) -> Result<(), GraphError> {
+    pub fn add_dependency(
+        &mut self,
+        from: TaskId,
+        to: TaskId,
+        cost: f64,
+    ) -> Result<(), GraphError> {
         if !cost.is_finite() || cost < 0.0 {
             return Err(GraphError::InvalidCost { value: cost });
         }
@@ -202,10 +256,10 @@ impl TaskGraph {
 
     /// Iterator over all dependencies as `(from, to, cost)`.
     pub fn dependencies(&self) -> impl Iterator<Item = (TaskId, TaskId, f64)> + '_ {
-        self.succs.iter().enumerate().flat_map(|(i, es)| {
-            es.iter()
-                .map(move |e| (TaskId(i as u32), e.task, e.cost))
-        })
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, es)| es.iter().map(move |e| (TaskId(i as u32), e.task, e.cost)))
     }
 
     /// Whether `from` can reach `to` along dependencies (used for cycle checks).
@@ -232,12 +286,16 @@ impl TaskGraph {
 
     /// Tasks with no predecessors.
     pub fn sources(&self) -> Vec<TaskId> {
-        self.tasks().filter(|t| self.preds[t.index()].is_empty()).collect()
+        self.tasks()
+            .filter(|t| self.preds[t.index()].is_empty())
+            .collect()
     }
 
     /// Tasks with no successors.
     pub fn sinks(&self) -> Vec<TaskId> {
-        self.tasks().filter(|t| self.succs[t.index()].is_empty()).collect()
+        self.tasks()
+            .filter(|t| self.succs[t.index()].is_empty())
+            .collect()
     }
 
     /// In-degree of every task, indexed by task id.
@@ -254,10 +312,7 @@ impl TaskGraph {
         let mut indeg = self.in_degrees();
         // A binary-heap keyed by id would also work; with the small fan-outs
         // of real workflows a sorted frontier vector is cheaper.
-        let mut frontier: Vec<TaskId> = self
-            .tasks()
-            .filter(|t| indeg[t.index()] == 0)
-            .collect();
+        let mut frontier: Vec<TaskId> = self.tasks().filter(|t| indeg[t.index()] == 0).collect();
         frontier.sort_unstable_by(|a, b| b.cmp(a)); // pop smallest id from the back
         let mut order = Vec::with_capacity(n);
         while let Some(t) = frontier.pop() {

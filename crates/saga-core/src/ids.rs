@@ -11,13 +11,17 @@ use std::fmt;
 ///
 /// Ids are dense: the `k`-th added task has id `k`, so they double as vector
 /// indices via [`TaskId::index`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct TaskId(pub u32);
 
 /// Identifier of a compute node in a [`crate::Network`].
 ///
 /// Dense, like [`TaskId`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl TaskId {

@@ -4,12 +4,29 @@ use crate::{Network, TaskGraph};
 use serde::{Deserialize, Serialize};
 
 /// A scheduling problem instance: the pair `(N, G)` of Section II.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Instance {
     /// The compute network `N`.
     pub network: Network,
     /// The task graph `G`.
     pub graph: TaskGraph,
+}
+
+impl Clone for Instance {
+    fn clone(&self) -> Self {
+        Instance {
+            network: self.network.clone(),
+            graph: self.graph.clone(),
+        }
+    }
+
+    /// Buffer-reusing clone (see [`TaskGraph`]'s and [`Network`]'s
+    /// `clone_from`): the annealer's per-iteration candidate copies become
+    /// allocation-free after warm-up.
+    fn clone_from(&mut self, source: &Self) {
+        self.network.clone_from(&source.network);
+        self.graph.clone_from(&source.graph);
+    }
 }
 
 impl Instance {

@@ -1,0 +1,888 @@
+//! The allocation-free scheduling kernel.
+//!
+//! [`SchedContext`] owns every buffer a list-scheduler run needs — cached
+//! cost tables, CSR dependency views, per-node timelines, the incremental
+//! ready queue, and scratch pools — and [`SchedContext::reset`] rebuilds all
+//! of it for a new instance while *reusing capacity*. A caller that keeps
+//! one context alive (PISA's annealer runs tens of thousands of scheduler
+//! evaluations per cell) allocates approximately nothing after warm-up.
+//!
+//! Three cached structures carry the speedup:
+//!
+//! * a dense `exec[t * |V| + v]` execution-time matrix and a copied link
+//!   matrix, so EFT queries stop dividing and pointer-chasing in the inner
+//!   loop;
+//! * flat CSR predecessor/successor views (offsets + task ids + costs in
+//!   edge-insertion order), replacing `Vec<Vec<DepEdge>>` traversals;
+//! * an incrementally maintained ready queue: [`SchedContext::place`]
+//!   decrements unplaced-predecessor counters and inserts newly ready tasks
+//!   in id order, so the per-placement "which tasks are ready" question is
+//!   answered in O(out-degree) instead of an O(|T|) rescan.
+//!
+//! Every query reproduces [`ScheduleBuilder`](crate::ScheduleBuilder)
+//! semantics bit-for-bit (the golden-determinism suite in the workspace root
+//! pins this): the cached tables hold exactly the values the builder used to
+//! recompute, and iteration orders match the original adjacency-list orders.
+//!
+//! The tables snapshot the instance at [`SchedContext::reset`] time; callers
+//! must not mutate the instance between `reset` and the queries that follow
+//! (the same contract the borrow in `ScheduleBuilder` used to enforce
+//! statically).
+
+use crate::{Assignment, Instance, NodeId, Schedule, TaskId};
+
+/// A placed interval on a node timeline.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Slot {
+    pub(crate) start: f64,
+    pub(crate) finish: f64,
+    pub(crate) task: TaskId,
+}
+
+/// Reusable arena + cursor for building schedules without per-run
+/// allocation. See the [module docs](self) for the design.
+#[derive(Debug, Clone, Default)]
+pub struct SchedContext {
+    // ---- cached instance tables (rebuilt by `reset`) ----
+    n_tasks: usize,
+    n_nodes: usize,
+    /// `exec[t * n_nodes + v] = c(t) / s(v)` (0 for zero-cost tasks).
+    exec: Vec<f64>,
+    /// Row-major copy of the link-strength matrix.
+    links: Vec<f64>,
+    pred_off: Vec<u32>,
+    pred_task: Vec<TaskId>,
+    pred_cost: Vec<f64>,
+    succ_off: Vec<u32>,
+    succ_task: Vec<TaskId>,
+    succ_cost: Vec<f64>,
+    /// Topological order with smallest-id tie-breaking (identical to
+    /// `TaskGraph::topological_order`).
+    topo: Vec<TaskId>,
+    /// HEFT-style average execution time per task.
+    avg_exec: Vec<f64>,
+    /// Mean inverse link strength (the average-communication multiplier).
+    inv_link: f64,
+    fastest: NodeId,
+    // ---- run state (cleared by `reset`) ----
+    timelines: Vec<Vec<Slot>>,
+    finish: Vec<f64>,
+    node_of: Vec<NodeId>,
+    placed: Vec<bool>,
+    placed_count: usize,
+    /// Largest finish time on each node's timeline (0 when empty). Not the
+    /// last slot's finish: a zero-duration task placed on an earlier slot's
+    /// boundary can sit at the end of the slot vector with an *earlier*
+    /// finish.
+    max_finish: Vec<f64>,
+    /// Number of unplaced predecessors per task.
+    unplaced_preds: Vec<u32>,
+    /// Unplaced tasks whose predecessors are all placed, ascending by id.
+    ready: Vec<TaskId>,
+    // ---- scratch ----
+    frontier_heap: std::collections::BinaryHeap<std::cmp::Reverse<TaskId>>,
+    indeg_scratch: Vec<u32>,
+    f64_pool: Vec<Vec<f64>>,
+    task_pool: Vec<Vec<TaskId>>,
+    /// When true, [`reset`](Self::reset) skips the table rebuild and only
+    /// clears the run state — see [`pin_tables`](Self::pin_tables).
+    pinned: bool,
+}
+
+impl SchedContext {
+    /// An empty context; owns no buffers until the first [`reset`](Self::reset).
+    pub fn new() -> Self {
+        SchedContext::default()
+    }
+
+    /// Rebuilds every cached table and clears the run state for `inst`,
+    /// reusing existing capacity.
+    ///
+    /// While [`pin_tables`](Self::pin_tables) is active, the (unchanged)
+    /// tables are kept and only the run state is cleared.
+    pub fn reset(&mut self, inst: &Instance) {
+        if self.pinned {
+            debug_assert_eq!(self.n_tasks, inst.graph.task_count(), "pinned tables stale");
+            debug_assert_eq!(
+                self.n_nodes,
+                inst.network.node_count(),
+                "pinned tables stale"
+            );
+            debug_assert_eq!(
+                self.pred_task.len(),
+                inst.graph.dependency_count(),
+                "pinned tables stale (dependency structure changed)"
+            );
+            self.clear_run_state();
+            return;
+        }
+        self.rebuild_tables(inst);
+        self.clear_run_state();
+    }
+
+    /// Declares that every `reset` until [`unpin_tables`](Self::unpin_tables)
+    /// will be for this same, unmodified instance, so the cost tables built
+    /// here can be shared across several scheduler runs (the adversarial
+    /// annealer evaluates two schedulers per candidate). The caller must not
+    /// mutate the instance while the pin is active.
+    pub fn pin_tables(&mut self, inst: &Instance) {
+        self.pinned = false;
+        self.rebuild_tables(inst);
+        self.clear_run_state();
+        self.pinned = true;
+    }
+
+    /// Ends a [`pin_tables`](Self::pin_tables) scope; subsequent `reset`s
+    /// rebuild the tables again.
+    pub fn unpin_tables(&mut self) {
+        self.pinned = false;
+    }
+
+    /// Rebuilds the instance-derived cost tables and views.
+    fn rebuild_tables(&mut self, inst: &Instance) {
+        let g = &inst.graph;
+        let net = &inst.network;
+        let nt = g.task_count();
+        let nv = net.node_count();
+        self.n_tasks = nt;
+        self.n_nodes = nv;
+
+        // dense execution-time matrix
+        self.exec.clear();
+        self.exec.reserve(nt * nv);
+        for t in g.tasks() {
+            let c = g.cost(t);
+            for v in net.nodes() {
+                self.exec.push(net.exec_time(c, v));
+            }
+        }
+        // link matrix copy
+        self.links.clear();
+        self.links.extend_from_slice(net.links());
+
+        // CSR views, preserving adjacency-list order
+        self.pred_off.clear();
+        self.pred_task.clear();
+        self.pred_cost.clear();
+        self.succ_off.clear();
+        self.succ_task.clear();
+        self.succ_cost.clear();
+        self.pred_off.push(0);
+        self.succ_off.push(0);
+        for t in g.tasks() {
+            for e in g.predecessors(t) {
+                self.pred_task.push(e.task);
+                self.pred_cost.push(e.cost);
+            }
+            for e in g.successors(t) {
+                self.succ_task.push(e.task);
+                self.succ_cost.push(e.cost);
+            }
+            self.pred_off.push(self.pred_task.len() as u32);
+            self.succ_off.push(self.succ_task.len() as u32);
+        }
+
+        // average costs (HEFT/CPoP ranking inputs)
+        let inv_speed = net.mean_inverse_speed();
+        self.avg_exec.clear();
+        self.avg_exec.extend(g.tasks().map(|t| {
+            let c = g.cost(t);
+            if c == 0.0 {
+                0.0
+            } else {
+                c * inv_speed
+            }
+        }));
+        self.inv_link = net.mean_inverse_link();
+        self.fastest = net.fastest_node();
+
+        self.rebuild_topo();
+    }
+
+    /// Clears the per-run placement state (tables untouched).
+    fn clear_run_state(&mut self) {
+        let nt = self.n_tasks;
+        let nv = self.n_nodes;
+        self.timelines.resize_with(nv, Vec::new);
+        for tl in &mut self.timelines {
+            tl.clear();
+        }
+        self.max_finish.clear();
+        self.max_finish.resize(nv, 0.0);
+        self.finish.clear();
+        self.finish.resize(nt, f64::NAN);
+        self.node_of.clear();
+        self.node_of.resize(nt, NodeId(0));
+        self.placed.clear();
+        self.placed.resize(nt, false);
+        self.placed_count = 0;
+        self.unplaced_preds.clear();
+        for t in 0..nt {
+            self.unplaced_preds
+                .push(self.pred_off[t + 1] - self.pred_off[t]);
+        }
+        self.ready.clear();
+        for t in 0..nt {
+            if self.unplaced_preds[t] == 0 {
+                self.ready.push(TaskId(t as u32));
+            }
+        }
+    }
+
+    /// Kahn's algorithm with smallest-id tie-breaking, matching
+    /// `TaskGraph::topological_order` exactly. The frontier is a binary
+    /// min-heap over task ids — pop-smallest is the same order the original
+    /// sorted-vector frontier produces, without re-sorting per admission.
+    fn rebuild_topo(&mut self) {
+        use std::cmp::Reverse;
+        let nt = self.n_tasks;
+        self.indeg_scratch.clear();
+        for t in 0..nt {
+            self.indeg_scratch
+                .push(self.pred_off[t + 1] - self.pred_off[t]);
+        }
+        self.frontier_heap.clear();
+        for t in 0..nt {
+            if self.indeg_scratch[t] == 0 {
+                self.frontier_heap.push(Reverse(TaskId(t as u32)));
+            }
+        }
+        self.topo.clear();
+        while let Some(Reverse(t)) = self.frontier_heap.pop() {
+            self.topo.push(t);
+            let (s, e) = self.succ_range(t);
+            for i in s..e {
+                let st = self.succ_task[i];
+                let d = &mut self.indeg_scratch[st.index()];
+                *d -= 1;
+                if *d == 0 {
+                    self.frontier_heap.push(Reverse(st));
+                }
+            }
+        }
+        debug_assert_eq!(self.topo.len(), nt, "graph must be acyclic");
+    }
+
+    #[inline]
+    fn pred_range(&self, t: TaskId) -> (usize, usize) {
+        (
+            self.pred_off[t.index()] as usize,
+            self.pred_off[t.index() + 1] as usize,
+        )
+    }
+
+    #[inline]
+    fn succ_range(&self, t: TaskId) -> (usize, usize) {
+        (
+            self.succ_off[t.index()] as usize,
+            self.succ_off[t.index() + 1] as usize,
+        )
+    }
+
+    // ---- instance views ----
+
+    /// Number of tasks in the instance the context was last reset for.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n_nodes as u32).map(NodeId)
+    }
+
+    /// Iterator over all task ids.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.n_tasks as u32).map(TaskId)
+    }
+
+    /// Cached execution time `c(t) / s(v)`.
+    #[inline]
+    pub fn exec_time(&self, t: TaskId, v: NodeId) -> f64 {
+        self.exec[t.index() * self.n_nodes + v.index()]
+    }
+
+    /// The execution-time row of `t` over all nodes.
+    #[inline]
+    pub fn exec_row(&self, t: TaskId) -> &[f64] {
+        &self.exec[t.index() * self.n_nodes..(t.index() + 1) * self.n_nodes]
+    }
+
+    /// Communication time of `bytes` from `u` to `v` (0 on the same node or
+    /// for empty messages), from the cached link matrix.
+    #[inline]
+    pub fn comm_time(&self, bytes: f64, u: NodeId, v: NodeId) -> f64 {
+        if u == v || bytes == 0.0 {
+            0.0
+        } else {
+            bytes / self.links[u.index() * self.n_nodes + v.index()]
+        }
+    }
+
+    /// The fastest node (lowest id on ties), cached at reset.
+    #[inline]
+    pub fn fastest_node(&self) -> NodeId {
+        self.fastest
+    }
+
+    /// Predecessor edges of `t` as `(predecessor, data size)`, in the
+    /// graph's adjacency order.
+    pub fn preds(&self, t: TaskId) -> impl Iterator<Item = (TaskId, f64)> + '_ {
+        let (s, e) = self.pred_range(t);
+        self.pred_task[s..e]
+            .iter()
+            .copied()
+            .zip(self.pred_cost[s..e].iter().copied())
+    }
+
+    /// Successor edges of `t` as `(successor, data size)`.
+    pub fn succs(&self, t: TaskId) -> impl Iterator<Item = (TaskId, f64)> + '_ {
+        let (s, e) = self.succ_range(t);
+        self.succ_task[s..e]
+            .iter()
+            .copied()
+            .zip(self.succ_cost[s..e].iter().copied())
+    }
+
+    /// The cached topological order (smallest-id tie-breaking).
+    #[inline]
+    pub fn topo_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// HEFT-style average execution time per task
+    /// (`c(t) * mean_v 1/s(v)`, 0 for zero-cost tasks).
+    #[inline]
+    pub fn avg_exec(&self) -> &[f64] {
+        &self.avg_exec
+    }
+
+    /// Average communication time of a dependency carrying `bytes`.
+    #[inline]
+    pub fn avg_comm(&self, bytes: f64) -> f64 {
+        if bytes == 0.0 {
+            0.0
+        } else {
+            bytes * self.inv_link
+        }
+    }
+
+    // ---- run state queries ----
+
+    /// Whether `t` has been placed.
+    #[inline]
+    pub fn is_placed(&self, t: TaskId) -> bool {
+        self.placed[t.index()]
+    }
+
+    /// Whether every predecessor of `t` has been placed.
+    #[inline]
+    pub fn is_ready(&self, t: TaskId) -> bool {
+        self.unplaced_preds[t.index()] == 0
+    }
+
+    /// Number of tasks placed so far.
+    #[inline]
+    pub fn placed_count(&self) -> usize {
+        self.placed_count
+    }
+
+    /// Unplaced tasks whose predecessors are all placed, ascending by id.
+    /// Maintained incrementally by [`place`](Self::place).
+    #[inline]
+    pub fn ready(&self) -> &[TaskId] {
+        &self.ready
+    }
+
+    /// Finish time of a placed task.
+    ///
+    /// # Panics
+    /// Panics (debug) if the task has not been placed.
+    #[inline]
+    pub fn finish_time(&self, t: TaskId) -> f64 {
+        debug_assert!(self.placed[t.index()], "task {t} not placed yet");
+        self.finish[t.index()]
+    }
+
+    /// Node of a placed task.
+    #[inline]
+    pub fn node_of(&self, t: TaskId) -> NodeId {
+        debug_assert!(self.placed[t.index()], "task {t} not placed yet");
+        self.node_of[t.index()]
+    }
+
+    /// Earliest time all of `t`'s input data can be present on `v`:
+    /// `max_p finish(p) + c(p,t)/s(node(p), v)`.
+    ///
+    /// # Panics
+    /// Panics (debug) if a predecessor is unplaced.
+    pub fn data_ready_time(&self, t: TaskId, v: NodeId) -> f64 {
+        let mut ready = 0.0f64;
+        let (s, e) = self.pred_range(t);
+        for i in s..e {
+            let p = self.pred_task[i].index();
+            debug_assert!(self.placed[p], "predecessor {} unplaced", self.pred_task[i]);
+            let arrival = self.finish[p] + self.comm_time(self.pred_cost[i], self.node_of[p], v);
+            ready = ready.max(arrival);
+        }
+        ready
+    }
+
+    /// [`data_ready_time`](Self::data_ready_time) for every node at once,
+    /// into `out` (length `node_count()`). One pass over the predecessors
+    /// loads each `finish`/`node_of`/link row once instead of once per node;
+    /// per node the arrivals fold in the same predecessor order, so the
+    /// results are bit-identical to the per-node query.
+    pub fn data_ready_times_into(&self, t: TaskId, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.n_nodes);
+        out.fill(0.0);
+        let (s, e) = self.pred_range(t);
+        for i in s..e {
+            let p = self.pred_task[i].index();
+            debug_assert!(self.placed[p], "predecessor {} unplaced", self.pred_task[i]);
+            let f = self.finish[p];
+            let pn = self.node_of[p].index();
+            let cost = self.pred_cost[i];
+            let row = &self.links[pn * self.n_nodes..][..self.n_nodes];
+            for (v, r) in out.iter_mut().enumerate() {
+                let comm = if pn == v || cost == 0.0 {
+                    0.0
+                } else {
+                    cost / row[v]
+                };
+                let arrival = f + comm;
+                *r = r.max(arrival);
+            }
+        }
+    }
+
+    /// Earliest start on `v` at or after `ready` considering only the tail
+    /// of the timeline (no insertion).
+    pub fn earliest_start_append(&self, v: NodeId, ready: f64) -> f64 {
+        match self.timelines[v.index()].last() {
+            Some(slot) => slot.finish.max(ready),
+            None => ready,
+        }
+    }
+
+    /// Earliest start on `v` at or after `ready`, allowed to fill an idle
+    /// gap between already-placed tasks (HEFT's insertion policy).
+    pub fn earliest_start_insertion(&self, v: NodeId, ready: f64, duration: f64) -> f64 {
+        let slots = &self.timelines[v.index()];
+        if duration.is_infinite() {
+            // only the tail can host a never-ending task
+            return self.earliest_start_append(v, ready);
+        }
+        // Data arriving at or after every slot's finish: the scan's candidate
+        // never rises above `ready` and both the early gap-return and the
+        // fall-through return exactly `ready` — skip the scan. (Gated on the
+        // maintained per-node max finish, NOT the last slot's finish: a
+        // zero-duration boundary task at the end of the slot vector can
+        // finish earlier than its predecessors.)
+        if !slots.is_empty() && ready >= self.max_finish[v.index()] {
+            return ready;
+        }
+        let mut candidate = ready;
+        for s in slots {
+            if candidate + duration <= s.start + crate::schedule::TIME_EPS * s.start.abs().max(1.0)
+            {
+                return candidate;
+            }
+            candidate = candidate.max(s.finish);
+        }
+        candidate
+    }
+
+    /// The earliest-finish-time query used by HEFT-family schedulers:
+    /// `(start, finish)` for placing `t` on `v` now.
+    pub fn eft(&self, t: TaskId, v: NodeId, insertion: bool) -> (f64, f64) {
+        let duration = self.exec_time(t, v);
+        let ready = self.data_ready_time(t, v);
+        let start = if insertion {
+            self.earliest_start_insertion(v, ready, duration)
+        } else {
+            self.earliest_start_append(v, ready)
+        };
+        (start, start + duration)
+    }
+
+    /// Current makespan over placed tasks.
+    pub fn current_makespan(&self) -> f64 {
+        self.finish
+            .iter()
+            .zip(&self.placed)
+            .filter(|&(_, &p)| p)
+            .map(|(&f, _)| f)
+            .fold(0.0, f64::max)
+    }
+
+    // ---- mutation ----
+
+    /// Places `t` on `v` at `start`; the finish time comes from the cached
+    /// execution time. Updates the ready queue incrementally.
+    ///
+    /// # Panics
+    /// Panics (debug) on double placement. The caller is responsible for a
+    /// feasible `start` (as returned by [`eft`](Self::eft)).
+    pub fn place(&mut self, t: TaskId, v: NodeId, start: f64) {
+        debug_assert!(!self.placed[t.index()], "task {t} placed twice");
+        let duration = self.exec_time(t, v);
+        let finish = start + duration;
+        let timeline = &mut self.timelines[v.index()];
+        let pos = timeline.partition_point(|s| s.start <= start);
+        timeline.insert(
+            pos,
+            Slot {
+                start,
+                finish,
+                task: t,
+            },
+        );
+        let mf = &mut self.max_finish[v.index()];
+        *mf = mf.max(finish);
+        self.finish[t.index()] = finish;
+        self.node_of[t.index()] = v;
+        self.placed[t.index()] = true;
+        self.placed_count += 1;
+        // ready-queue maintenance: remove t, admit newly ready successors
+        if let Ok(pos) = self.ready.binary_search(&t) {
+            self.ready.remove(pos);
+        }
+        let (s, e) = self.succ_range(t);
+        for i in s..e {
+            let st = self.succ_task[i];
+            let d = &mut self.unplaced_preds[st.index()];
+            *d -= 1;
+            if *d == 0 && !self.placed[st.index()] {
+                if let Err(pos) = self.ready.binary_search(&st) {
+                    self.ready.insert(pos, st);
+                }
+            }
+        }
+    }
+
+    /// Convenience: compute the EFT on `v` and place there. Returns the
+    /// finish time.
+    pub fn place_eft(&mut self, t: TaskId, v: NodeId, insertion: bool) -> f64 {
+        let (start, finish) = self.eft(t, v, insertion);
+        self.place(t, v, start);
+        finish
+    }
+
+    /// Reverts the placement of `t`, restoring the ready queue and
+    /// predecessor counters — the undo operation exact solvers use for
+    /// depth-first search without cloning the whole context.
+    ///
+    /// Placements must be reverted in LIFO order relative to `t`'s
+    /// successors (no successor of `t` may still be placed).
+    ///
+    /// # Panics
+    /// Panics (debug) if `t` is not placed or a successor still is.
+    pub fn unplace(&mut self, t: TaskId) {
+        debug_assert!(self.placed[t.index()], "task {t} not placed");
+        let v = self.node_of[t.index()];
+        let timeline = &mut self.timelines[v.index()];
+        let pos = timeline
+            .iter()
+            .position(|s| s.task == t)
+            .expect("placed task missing from its timeline");
+        timeline.remove(pos);
+        self.max_finish[v.index()] = timeline.iter().map(|s| s.finish).fold(0.0, f64::max);
+        self.placed[t.index()] = false;
+        self.finish[t.index()] = f64::NAN;
+        self.placed_count -= 1;
+        let (s, e) = self.succ_range(t);
+        for i in s..e {
+            let st = self.succ_task[i];
+            debug_assert!(!self.placed[st.index()], "successor {st} still placed");
+            if self.unplaced_preds[st.index()] == 0 {
+                if let Ok(pos) = self.ready.binary_search(&st) {
+                    self.ready.remove(pos);
+                }
+            }
+            self.unplaced_preds[st.index()] += 1;
+        }
+        // t itself becomes ready again (its predecessors are untouched)
+        if self.unplaced_preds[t.index()] == 0 {
+            if let Err(pos) = self.ready.binary_search(&t) {
+                self.ready.insert(pos, t);
+            }
+        }
+    }
+
+    /// Builds the completed [`Schedule`] from the timelines without
+    /// consuming the context.
+    ///
+    /// # Panics
+    /// Panics if any task is unplaced — schedulers must place every task.
+    pub fn snapshot_schedule(&self) -> Schedule {
+        assert_eq!(
+            self.placed_count, self.n_tasks,
+            "scheduler left tasks unplaced"
+        );
+        // Emit the starts recorded at placement time. Recomputing them as
+        // `finish - duration` loses an ulp, which is enough to re-order a
+        // zero-duration task behind the slot whose boundary it sits on and
+        // make verify() report a phantom overlap.
+        let mut assignments: Vec<Assignment> = Vec::with_capacity(self.placed_count);
+        for (vi, timeline) in self.timelines.iter().enumerate() {
+            for s in timeline {
+                assignments.push(Assignment {
+                    task: s.task,
+                    node: NodeId(vi as u32),
+                    start: s.start,
+                    finish: s.finish,
+                });
+            }
+        }
+        Schedule::from_assignments(self.n_nodes, assignments)
+    }
+
+    // ---- rankings ----
+
+    /// Upward rank of every task (HEFT's priority) into `out`:
+    /// `rank_u(t) = avg_exec(t) + max_s (avg_comm(t,s) + rank_u(s))`.
+    pub fn upward_ranks_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.n_tasks, 0.0);
+        for &t in self.topo.iter().rev() {
+            let mut best = 0.0f64;
+            let (s, e) = self.succ_range(t);
+            for i in s..e {
+                best = best.max(self.avg_comm(self.succ_cost[i]) + out[self.succ_task[i].index()]);
+            }
+            out[t.index()] = self.avg_exec[t.index()] + best;
+        }
+    }
+
+    /// Downward rank of every task (CPoP's second component) into `out`:
+    /// `rank_d(t) = max_p (rank_d(p) + avg_exec(p) + avg_comm(p,t))`.
+    pub fn downward_ranks_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.n_tasks, 0.0);
+        for &t in &self.topo {
+            let (s, e) = self.succ_range(t);
+            for i in s..e {
+                let via =
+                    out[t.index()] + self.avg_exec[t.index()] + self.avg_comm(self.succ_cost[i]);
+                let r = &mut out[self.succ_task[i].index()];
+                *r = r.max(via);
+            }
+        }
+    }
+
+    /// The critical-path length `max_t rank_u(t) + rank_d(t)` given the two
+    /// rank vectors.
+    pub fn critical_length(up: &[f64], down: &[f64]) -> f64 {
+        let mut length = 0.0f64;
+        for (u, d) in up.iter().zip(down) {
+            let l = u + d;
+            if l > length {
+                length = l;
+            }
+        }
+        length
+    }
+
+    // ---- scratch pools ----
+
+    /// Borrows a cleared `Vec<f64>` from the pool (allocates only until the
+    /// pool has warmed up). Return it with [`give_f64`](Self::give_f64).
+    pub fn take_f64(&mut self) -> Vec<f64> {
+        self.f64_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch buffer to the pool.
+    pub fn give_f64(&mut self, mut buf: Vec<f64>) {
+        buf.clear();
+        self.f64_pool.push(buf);
+    }
+
+    /// Borrows a cleared `Vec<TaskId>` from the pool.
+    pub fn take_tasks(&mut self) -> Vec<TaskId> {
+        self.task_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a task scratch buffer to the pool.
+    pub fn give_tasks(&mut self, mut buf: Vec<TaskId>) {
+        buf.clear();
+        self.task_pool.push(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Network, TaskGraph};
+
+    fn diamond_instance() -> Instance {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 2.0);
+        let c = g.add_task("c", 3.0);
+        let d = g.add_task("d", 4.0);
+        g.add_dependency(a, b, 0.5).unwrap();
+        g.add_dependency(a, c, 0.5).unwrap();
+        g.add_dependency(b, d, 0.5).unwrap();
+        g.add_dependency(c, d, 0.5).unwrap();
+        Instance::new(Network::complete(&[1.0, 2.0], 2.0), g)
+    }
+
+    #[test]
+    fn cached_tables_match_direct_computation() {
+        let inst = diamond_instance();
+        let mut ctx = SchedContext::new();
+        ctx.reset(&inst);
+        for t in inst.graph.tasks() {
+            for v in inst.network.nodes() {
+                assert_eq!(
+                    ctx.exec_time(t, v),
+                    inst.network.exec_time(inst.graph.cost(t), v)
+                );
+            }
+        }
+        assert_eq!(ctx.comm_time(0.5, NodeId(0), NodeId(1)), 0.25);
+        assert_eq!(ctx.comm_time(0.5, NodeId(1), NodeId(1)), 0.0);
+        assert_eq!(ctx.topo_order(), &inst.graph.topological_order()[..]);
+        assert_eq!(ctx.fastest_node(), inst.network.fastest_node());
+        let avg = crate::ranking::AverageCosts::new(&inst);
+        assert_eq!(ctx.avg_exec(), &avg.exec[..]);
+        assert_eq!(ctx.avg_comm(0.5), avg.comm(0.5));
+    }
+
+    #[test]
+    fn ready_queue_updates_incrementally() {
+        let inst = diamond_instance();
+        let mut ctx = SchedContext::new();
+        ctx.reset(&inst);
+        assert_eq!(ctx.ready(), &[TaskId(0)]);
+        ctx.place(TaskId(0), NodeId(0), 0.0);
+        assert_eq!(ctx.ready(), &[TaskId(1), TaskId(2)]);
+        ctx.place(TaskId(2), NodeId(1), 2.0);
+        assert_eq!(ctx.ready(), &[TaskId(1)]);
+        ctx.place(TaskId(1), NodeId(0), 1.0);
+        assert_eq!(ctx.ready(), &[TaskId(3)]);
+        ctx.place(TaskId(3), NodeId(0), 10.0);
+        assert!(ctx.ready().is_empty());
+        assert_eq!(ctx.placed_count(), 4);
+        ctx.snapshot_schedule().verify(&inst).unwrap();
+    }
+
+    #[test]
+    fn unplace_restores_state_exactly() {
+        let inst = diamond_instance();
+        let mut ctx = SchedContext::new();
+        ctx.reset(&inst);
+        ctx.place(TaskId(0), NodeId(0), 0.0);
+        let ready_before = ctx.ready().to_vec();
+        let makespan_before = ctx.current_makespan();
+        ctx.place(TaskId(1), NodeId(1), 3.0);
+        ctx.unplace(TaskId(1));
+        assert_eq!(ctx.ready(), &ready_before[..]);
+        assert_eq!(ctx.current_makespan(), makespan_before);
+        assert!(!ctx.is_placed(TaskId(1)));
+        assert!(ctx.is_ready(TaskId(1)));
+        // and the timeline slot is gone: same EFT as before
+        let (s, _) = ctx.eft(TaskId(2), NodeId(1), false);
+        ctx.place(TaskId(2), NodeId(1), s);
+        assert_eq!(ctx.node_of(TaskId(2)), NodeId(1));
+    }
+
+    #[test]
+    fn reset_reuses_capacity_across_instances() {
+        let a = diamond_instance();
+        let g = TaskGraph::chain(&[1.0, 1.0], &[0.5]);
+        let b = Instance::new(Network::complete(&[1.0], 1.0), g);
+        let mut ctx = SchedContext::new();
+        ctx.reset(&a);
+        ctx.place(TaskId(0), NodeId(1), 0.0);
+        ctx.reset(&b);
+        assert_eq!(ctx.task_count(), 2);
+        assert_eq!(ctx.node_count(), 1);
+        assert_eq!(ctx.ready(), &[TaskId(0)]);
+        assert_eq!(ctx.placed_count(), 0);
+        ctx.place(TaskId(0), NodeId(0), 0.0);
+        ctx.place(TaskId(1), NodeId(0), 1.5);
+        ctx.snapshot_schedule().verify(&b).unwrap();
+    }
+
+    #[test]
+    fn ranks_match_ranking_module() {
+        let inst = diamond_instance();
+        let mut ctx = SchedContext::new();
+        ctx.reset(&inst);
+        let mut up = Vec::new();
+        let mut down = Vec::new();
+        ctx.upward_ranks_into(&mut up);
+        ctx.downward_ranks_into(&mut down);
+        assert_eq!(up, crate::ranking::upward_rank(&inst));
+        assert_eq!(down, crate::ranking::downward_rank(&inst));
+        let cp = crate::ranking::critical_path(&inst);
+        assert_eq!(SchedContext::critical_length(&up, &down), cp.length);
+    }
+
+    #[test]
+    fn insertion_shortcut_gates_on_max_finish_not_last_slot() {
+        // One node; A (cost 1) at [2,3]; zero-cost Z legally at [2,2] —
+        // partition_point orders Z after A, so the timeline's *last* slot
+        // finishes at 2 while the max finish is 3. A 1-long query with data
+        // ready at 2.5 must not slip inside A's slot.
+        let mut g = TaskGraph::new();
+        g.add_task("a", 1.0);
+        g.add_task("z", 0.0);
+        g.add_task("q", 1.0);
+        let inst = Instance::new(Network::complete(&[1.0], 1.0), g);
+        let mut ctx = SchedContext::new();
+        ctx.reset(&inst);
+        ctx.place(TaskId(0), NodeId(0), 2.0);
+        ctx.place(TaskId(1), NodeId(0), 2.0); // zero-duration boundary task
+        assert_eq!(ctx.earliest_start_insertion(NodeId(0), 2.5, 1.0), 3.0);
+        // a placement driven through eft stays verifiable
+        let (s, _) = ctx.eft(TaskId(2), NodeId(0), true);
+        ctx.place(TaskId(2), NodeId(0), s);
+        ctx.snapshot_schedule().verify(&inst).unwrap();
+        // and unplace recomputes the per-node max finish
+        ctx.unplace(TaskId(2));
+        ctx.unplace(TaskId(0));
+        assert_eq!(ctx.earliest_start_insertion(NodeId(0), 2.5, 1.0), 2.5);
+    }
+
+    #[test]
+    fn pinned_tables_survive_reset_and_unpin_rebuilds() {
+        let inst = diamond_instance();
+        let mut ctx = SchedContext::new();
+        ctx.pin_tables(&inst);
+        ctx.place(TaskId(0), NodeId(0), 0.0);
+        ctx.reset(&inst); // run state cleared, tables kept
+        assert_eq!(ctx.placed_count(), 0);
+        assert_eq!(ctx.ready(), &[TaskId(0)]);
+        assert_eq!(ctx.exec_time(TaskId(1), NodeId(1)), 1.0);
+        ctx.unpin_tables();
+        // after unpin, reset follows instance changes again
+        let mut changed = inst.clone();
+        changed.network.set_speed(NodeId(1), 4.0);
+        ctx.reset(&changed);
+        assert_eq!(ctx.exec_time(TaskId(1), NodeId(1)), 0.5);
+    }
+
+    #[test]
+    fn scratch_pools_recycle_buffers() {
+        let mut ctx = SchedContext::new();
+        let mut buf = ctx.take_f64();
+        buf.extend([1.0, 2.0]);
+        let cap = buf.capacity();
+        ctx.give_f64(buf);
+        let again = ctx.take_f64();
+        assert!(again.is_empty());
+        assert_eq!(again.capacity(), cap);
+        let tasks = ctx.take_tasks();
+        ctx.give_tasks(tasks);
+    }
+}

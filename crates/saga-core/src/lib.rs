@@ -19,6 +19,7 @@ pub mod gantt;
 mod graph;
 mod ids;
 mod instance;
+mod kernel;
 pub mod metrics;
 mod network;
 pub mod ranking;
@@ -30,5 +31,6 @@ pub use error::{GraphError, ScheduleError};
 pub use graph::{DepEdge, TaskGraph};
 pub use ids::{NodeId, TaskId};
 pub use instance::Instance;
+pub use kernel::SchedContext;
 pub use network::Network;
 pub use schedule::{Assignment, Schedule, TIME_EPS};

@@ -24,7 +24,11 @@ impl EnergyModel {
     /// more), idle power is a fixed fraction of active, and communication
     /// costs `comm` joules per data unit.
     pub fn speed_proportional(inst: &Instance, idle_fraction: f64, comm: f64) -> Self {
-        let active: Vec<f64> = inst.network.nodes().map(|v| inst.network.speed(v)).collect();
+        let active: Vec<f64> = inst
+            .network
+            .nodes()
+            .map(|v| inst.network.speed(v))
+            .collect();
         let idle = active.iter().map(|a| a * idle_fraction).collect();
         EnergyModel {
             active,
@@ -131,8 +135,18 @@ mod tests {
         let sched = Schedule::from_assignments(
             2,
             vec![
-                Assignment { task: TaskId(0), node: NodeId(0), start: 0.0, finish: 2.0 },
-                Assignment { task: TaskId(1), node: NodeId(1), start: 4.0, finish: 6.0 },
+                Assignment {
+                    task: TaskId(0),
+                    node: NodeId(0),
+                    start: 0.0,
+                    finish: 2.0,
+                },
+                Assignment {
+                    task: TaskId(1),
+                    node: NodeId(1),
+                    start: 4.0,
+                    finish: 6.0,
+                },
             ],
         );
         sched.verify(&inst).unwrap();
@@ -161,8 +175,18 @@ mod tests {
         let sched = Schedule::from_assignments(
             1,
             vec![
-                Assignment { task: a, node: NodeId(0), start: 0.0, finish: 1.0 },
-                Assignment { task: b, node: NodeId(0), start: 1.0, finish: 2.0 },
+                Assignment {
+                    task: a,
+                    node: NodeId(0),
+                    start: 0.0,
+                    finish: 1.0,
+                },
+                Assignment {
+                    task: b,
+                    node: NodeId(0),
+                    start: 1.0,
+                    finish: 2.0,
+                },
             ],
         );
         let model = EnergyModel {

@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// Link strengths are stored as a dense row-major `n x n` symmetric matrix;
 /// zero speeds/strengths are legal and yield infinite times (the paper clips
 /// perturbed weights at 0, which is how its `>1000` ratios arise).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Network {
     speeds: Vec<f64>,
     links: Vec<f64>,
@@ -94,7 +94,10 @@ impl Network {
     /// Panics on a self-link or a negative/NaN strength.
     pub fn set_link(&mut self, u: NodeId, v: NodeId, strength: f64) {
         assert!(u != v, "self-links are fixed at infinite strength");
-        assert!(strength >= 0.0 && !strength.is_nan(), "strength must be >= 0");
+        assert!(
+            strength >= 0.0 && !strength.is_nan(),
+            "strength must be >= 0"
+        );
         let n = self.speeds.len();
         self.links[u.index() * n + v.index()] = strength;
         self.links[v.index() * n + u.index()] = strength;
@@ -141,7 +144,10 @@ impl Network {
         if n == 0 {
             return 0.0;
         }
-        self.speeds.iter().map(|&s| if s == 0.0 { f64::INFINITY } else { 1.0 / s }).sum::<f64>()
+        self.speeds
+            .iter()
+            .map(|&s| if s == 0.0 { f64::INFINITY } else { 1.0 / s })
+            .sum::<f64>()
             / n as f64
     }
 
@@ -174,6 +180,32 @@ impl Network {
     /// All node speeds as a slice.
     pub fn speeds(&self) -> &[f64] {
         &self.speeds
+    }
+
+    /// The full link-strength matrix, row-major (`node_count()^2` entries,
+    /// infinite diagonal). Used by the scheduling kernel to snapshot
+    /// communication rates without per-query indirection.
+    pub fn links(&self) -> &[f64] {
+        &self.links
+    }
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        Network {
+            speeds: self.speeds.clone(),
+            links: self.links.clone(),
+        }
+    }
+
+    /// Reuses the destination's buffers — annealing loops clone candidate
+    /// instances every iteration, and this keeps them allocation-free after
+    /// warm-up.
+    fn clone_from(&mut self, source: &Self) {
+        self.speeds.clear();
+        self.speeds.extend_from_slice(&source.speeds);
+        self.links.clear();
+        self.links.extend_from_slice(&source.links);
     }
 }
 
@@ -239,10 +271,7 @@ mod tests {
 
     #[test]
     fn from_matrix_validates_symmetry() {
-        let n = Network::from_matrix(
-            vec![1.0, 2.0],
-            vec![0.0, 3.0, 3.0, 0.0],
-        );
+        let n = Network::from_matrix(vec![1.0, 2.0], vec![0.0, 3.0, 3.0, 0.0]);
         assert_eq!(n.link(NodeId(0), NodeId(1)), 3.0);
         assert!(n.link(NodeId(0), NodeId(0)).is_infinite());
     }

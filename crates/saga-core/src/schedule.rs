@@ -55,7 +55,11 @@ impl Schedule {
     pub fn from_assignments(node_count: usize, mut assignments: Vec<Assignment>) -> Self {
         assignments.sort_unstable_by_key(|a| a.task);
         for (i, a) in assignments.iter().enumerate() {
-            assert_eq!(a.task.index(), i, "assignments must cover tasks 0..n exactly once");
+            assert_eq!(
+                a.task.index(),
+                i,
+                "assignments must cover tasks 0..n exactly once"
+            );
         }
         let mut per_node: Vec<Vec<TaskId>> = vec![Vec::new(); node_count];
         let mut order: Vec<usize> = (0..assignments.len()).collect();
@@ -217,10 +221,30 @@ mod tests {
         Schedule::from_assignments(
             3,
             vec![
-                Assignment { task: TaskId(0), node: NodeId(2), start: 0.0, finish: t1f },
-                Assignment { task: TaskId(1), node: NodeId(1), start: t2s, finish: t2f },
-                Assignment { task: TaskId(2), node: NodeId(2), start: t3s, finish: t3f },
-                Assignment { task: TaskId(3), node: NodeId(2), start: t4s, finish: t4f },
+                Assignment {
+                    task: TaskId(0),
+                    node: NodeId(2),
+                    start: 0.0,
+                    finish: t1f,
+                },
+                Assignment {
+                    task: TaskId(1),
+                    node: NodeId(1),
+                    start: t2s,
+                    finish: t2f,
+                },
+                Assignment {
+                    task: TaskId(2),
+                    node: NodeId(2),
+                    start: t3s,
+                    finish: t3f,
+                },
+                Assignment {
+                    task: TaskId(3),
+                    node: NodeId(2),
+                    start: t4s,
+                    finish: t4f,
+                },
             ],
         )
     }
@@ -246,7 +270,8 @@ mod tests {
         // rebuild per-node ordering
         let s = Schedule::from_assignments(3, s.assignments);
         match s.verify(&inst) {
-            Err(ScheduleError::Overlap { .. }) | Err(ScheduleError::PrecedenceViolation { .. }) => {}
+            Err(ScheduleError::Overlap { .. }) | Err(ScheduleError::PrecedenceViolation { .. }) => {
+            }
             other => panic!("expected violation, got {other:?}"),
         }
     }
@@ -260,11 +285,24 @@ mod tests {
         let s = Schedule::from_assignments(
             1,
             vec![
-                Assignment { task: TaskId(0), node: NodeId(0), start: 0.0, finish: 1.0 },
-                Assignment { task: TaskId(1), node: NodeId(0), start: 0.5, finish: 1.5 },
+                Assignment {
+                    task: TaskId(0),
+                    node: NodeId(0),
+                    start: 0.0,
+                    finish: 1.0,
+                },
+                Assignment {
+                    task: TaskId(1),
+                    node: NodeId(0),
+                    start: 0.5,
+                    finish: 1.5,
+                },
             ],
         );
-        assert!(matches!(s.verify(&inst), Err(ScheduleError::Overlap { .. })));
+        assert!(matches!(
+            s.verify(&inst),
+            Err(ScheduleError::Overlap { .. })
+        ));
     }
 
     #[test]
@@ -274,7 +312,12 @@ mod tests {
         let inst = Instance::new(Network::complete(&[1.0], 1.0), g);
         let s = Schedule::from_assignments(
             1,
-            vec![Assignment { task: TaskId(0), node: NodeId(0), start: 0.0, finish: 1.0 }],
+            vec![Assignment {
+                task: TaskId(0),
+                node: NodeId(0),
+                start: 0.0,
+                finish: 1.0,
+            }],
         );
         assert!(matches!(
             s.verify(&inst),
@@ -290,9 +333,17 @@ mod tests {
         let inst = Instance::new(Network::complete(&[1.0], 1.0), g);
         let s = Schedule::from_assignments(
             1,
-            vec![Assignment { task: TaskId(0), node: NodeId(0), start: 0.0, finish: 1.0 }],
+            vec![Assignment {
+                task: TaskId(0),
+                node: NodeId(0),
+                start: 0.0,
+                finish: 1.0,
+            }],
         );
-        assert!(matches!(s.verify(&inst), Err(ScheduleError::MissingTask { .. })));
+        assert!(matches!(
+            s.verify(&inst),
+            Err(ScheduleError::MissingTask { .. })
+        ));
     }
 
     #[test]
@@ -302,14 +353,30 @@ mod tests {
         let inst = Instance::new(Network::complete(&[1.0], 1.0), g);
         let s = Schedule::from_assignments(
             2,
-            vec![Assignment { task: TaskId(0), node: NodeId(1), start: 0.0, finish: 1.0 }],
+            vec![Assignment {
+                task: TaskId(0),
+                node: NodeId(1),
+                start: 0.0,
+                finish: 1.0,
+            }],
         );
-        assert!(matches!(s.verify(&inst), Err(ScheduleError::UnknownNode { .. })));
+        assert!(matches!(
+            s.verify(&inst),
+            Err(ScheduleError::UnknownNode { .. })
+        ));
         let s = Schedule::from_assignments(
             1,
-            vec![Assignment { task: TaskId(0), node: NodeId(0), start: -1.0, finish: 0.0 }],
+            vec![Assignment {
+                task: TaskId(0),
+                node: NodeId(0),
+                start: -1.0,
+                finish: 0.0,
+            }],
         );
-        assert!(matches!(s.verify(&inst), Err(ScheduleError::InvalidStart { .. })));
+        assert!(matches!(
+            s.verify(&inst),
+            Err(ScheduleError::InvalidStart { .. })
+        ));
     }
 
     #[test]
@@ -331,8 +398,18 @@ mod tests {
         let s = Schedule::from_assignments(
             1,
             vec![
-                Assignment { task: long, node: NodeId(0), start: 2.0, finish: 3.0 },
-                Assignment { task: zero, node: NodeId(0), start: 2.0, finish: 2.0 },
+                Assignment {
+                    task: long,
+                    node: NodeId(0),
+                    start: 2.0,
+                    finish: 3.0,
+                },
+                Assignment {
+                    task: zero,
+                    node: NodeId(0),
+                    start: 2.0,
+                    finish: 2.0,
+                },
             ],
         );
         s.verify(&inst).unwrap();
@@ -351,8 +428,18 @@ mod tests {
         let s = Schedule::from_assignments(
             1,
             vec![
-                Assignment { task: a, node: NodeId(0), start: 0.0, finish: f64::INFINITY },
-                Assignment { task: b, node: NodeId(0), start: f64::INFINITY, finish: f64::INFINITY },
+                Assignment {
+                    task: a,
+                    node: NodeId(0),
+                    start: 0.0,
+                    finish: f64::INFINITY,
+                },
+                Assignment {
+                    task: b,
+                    node: NodeId(0),
+                    start: f64::INFINITY,
+                    finish: f64::INFINITY,
+                },
             ],
         );
         s.verify(&inst).unwrap();

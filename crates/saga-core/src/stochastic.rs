@@ -56,9 +56,12 @@ impl Dist {
                     rng.gen_range(lo..=hi)
                 }
             }
-            Dist::ClippedGaussian { mean, std, min, max } => {
-                clipped_gaussian(rng, mean, std, min, max)
-            }
+            Dist::ClippedGaussian {
+                mean,
+                std,
+                min,
+                max,
+            } => clipped_gaussian(rng, mean, std, min, max),
         }
     }
 
@@ -232,7 +235,10 @@ pub fn simulate_fixed(plan: &Schedule, realized: &Instance) -> Schedule {
 
     let mut progressed = true;
     while out.len() < g.task_count() {
-        assert!(progressed, "fixed plan deadlocked under realization (cyclic node orders)");
+        assert!(
+            progressed,
+            "fixed plan deadlocked under realization (cyclic node orders)"
+        );
         progressed = false;
         for v in 0..plan.node_count() {
             let queue = plan.node_tasks(NodeId(v as u32));
@@ -249,8 +255,7 @@ pub fn simulate_fixed(plan: &Schedule, realized: &Instance) -> Schedule {
                         }
                         Some(f) => {
                             let from = plan.assignment(e.task).node;
-                            let arrive =
-                                f + n.comm_time(e.cost, from, NodeId(v as u32));
+                            let arrive = f + n.comm_time(e.cost, from, NodeId(v as u32));
                             data_ready = data_ready.max(arrive);
                         }
                     }

@@ -173,10 +173,7 @@ mod tests {
         let g1 = TaskGraph::chain(&[1.0, 1.0], &[1.0]);
         let g2 = TaskGraph::chain(&[1.0, 1.0, 1.0, 1.0], &[1.0, 1.0, 1.0]);
         let n = Network::complete(&[1.0], 1.0);
-        let m = mean_profile(&[
-            Instance::new(n.clone(), g1),
-            Instance::new(n, g2),
-        ]);
+        let m = mean_profile(&[Instance::new(n.clone(), g1), Instance::new(n, g2)]);
         assert_eq!(m.tasks, 3);
         assert_eq!(m.depth, 2);
     }

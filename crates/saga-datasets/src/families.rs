@@ -21,8 +21,12 @@ pub fn heft_weak_instance(rng: &mut StdRng) -> Instance {
     let c = g.add_task("C", clipped_gaussian(rng, 10.0, 10.0 / 3.0, 0.0, f64::MAX));
     let d = g.add_task("D", 1.0);
     g.add_dependency(a, b, 1.0).unwrap();
-    g.add_dependency(a, c, clipped_gaussian(rng, 100.0, 100.0 / 3.0, 0.0, f64::MAX))
-        .unwrap();
+    g.add_dependency(
+        a,
+        c,
+        clipped_gaussian(rng, 100.0, 100.0 / 3.0, 0.0, f64::MAX),
+    )
+    .unwrap();
     g.add_dependency(b, d, 1.0).unwrap();
     g.add_dependency(c, d, 1.0).unwrap();
     Instance::new(Network::complete(&[1.0, 1.0], 1.0), g)

@@ -47,7 +47,11 @@ fn pipeline(
     let mut sizes: Vec<f64> = Vec::with_capacity(stages.len());
     for (i, s) in stages.iter().enumerate() {
         let id = g.add_task(s.0, task_cost(rng));
-        let out = if i == 0 { input * s.1 } else { sizes[i - 1] * s.1 };
+        let out = if i == 0 {
+            input * s.1
+        } else {
+            sizes[i - 1] * s.1
+        };
         if i > 0 {
             g.add_dependency(ids[i - 1], id, sizes[i - 1]).unwrap();
         }
@@ -328,7 +332,10 @@ mod tests {
         let g = stats_graph(&mut rng);
         // every edge weight is within [500*0.05, 1500] by construction
         for (_, _, c) in g.dependencies() {
-            assert!((500.0 * 0.05 - 1e-9..=1500.0 + 1e-9).contains(&c), "edge {c}");
+            assert!(
+                (500.0 * 0.05 - 1e-9..=1500.0 + 1e-9).contains(&c),
+                "edge {c}"
+            );
         }
     }
 }

@@ -61,21 +61,41 @@ impl DatasetGenerator {
 /// stats, train).
 pub fn all_generators() -> Vec<DatasetGenerator> {
     vec![
-        DatasetGenerator { name: "blast", paper_count: 100, sample_fn: workflows::sample_blast },
-        DatasetGenerator { name: "bwa", paper_count: 100, sample_fn: workflows::sample_bwa },
+        DatasetGenerator {
+            name: "blast",
+            paper_count: 100,
+            sample_fn: workflows::sample_blast,
+        },
+        DatasetGenerator {
+            name: "bwa",
+            paper_count: 100,
+            sample_fn: workflows::sample_bwa,
+        },
         DatasetGenerator {
             name: "chains",
             paper_count: 1000,
             sample_fn: random_graphs::sample_chains,
         },
-        DatasetGenerator { name: "cycles", paper_count: 100, sample_fn: workflows::sample_cycles },
+        DatasetGenerator {
+            name: "cycles",
+            paper_count: 100,
+            sample_fn: workflows::sample_cycles,
+        },
         DatasetGenerator {
             name: "epigenomics",
             paper_count: 100,
             sample_fn: workflows::sample_epigenomics,
         },
-        DatasetGenerator { name: "etl", paper_count: 1000, sample_fn: iot::sample_etl },
-        DatasetGenerator { name: "genome", paper_count: 100, sample_fn: workflows::sample_genome },
+        DatasetGenerator {
+            name: "etl",
+            paper_count: 1000,
+            sample_fn: iot::sample_etl,
+        },
+        DatasetGenerator {
+            name: "genome",
+            paper_count: 100,
+            sample_fn: workflows::sample_genome,
+        },
         DatasetGenerator {
             name: "in_trees",
             paper_count: 1000,
@@ -91,20 +111,36 @@ pub fn all_generators() -> Vec<DatasetGenerator> {
             paper_count: 1000,
             sample_fn: random_graphs::sample_out_trees,
         },
-        DatasetGenerator { name: "predict", paper_count: 1000, sample_fn: iot::sample_predict },
+        DatasetGenerator {
+            name: "predict",
+            paper_count: 1000,
+            sample_fn: iot::sample_predict,
+        },
         DatasetGenerator {
             name: "seismology",
             paper_count: 100,
             sample_fn: workflows::sample_seismology,
         },
-        DatasetGenerator { name: "soykb", paper_count: 100, sample_fn: workflows::sample_soykb },
+        DatasetGenerator {
+            name: "soykb",
+            paper_count: 100,
+            sample_fn: workflows::sample_soykb,
+        },
         DatasetGenerator {
             name: "srasearch",
             paper_count: 100,
             sample_fn: workflows::sample_srasearch,
         },
-        DatasetGenerator { name: "stats", paper_count: 1000, sample_fn: iot::sample_stats },
-        DatasetGenerator { name: "train", paper_count: 1000, sample_fn: iot::sample_train },
+        DatasetGenerator {
+            name: "stats",
+            paper_count: 1000,
+            sample_fn: iot::sample_stats,
+        },
+        DatasetGenerator {
+            name: "train",
+            paper_count: 1000,
+            sample_fn: iot::sample_train,
+        },
     ]
 }
 

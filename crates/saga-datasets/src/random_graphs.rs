@@ -68,14 +68,16 @@ pub fn sample_parallel_chains(rng: &mut StdRng) -> TaskGraph {
         let mut prev = src;
         for i in 0..len {
             let t = g.add_task(format!("c{c}_{i}"), unit_weight(rng));
-            g.add_dependency(prev, t, unit_weight(rng)).expect("chain edge");
+            g.add_dependency(prev, t, unit_weight(rng))
+                .expect("chain edge");
             prev = t;
         }
         chain_tails.push(prev);
     }
     let sink = g.add_task("sink", sink_cost);
     for tail in chain_tails {
-        g.add_dependency(tail, sink, unit_weight(rng)).expect("sink edge");
+        g.add_dependency(tail, sink, unit_weight(rng))
+            .expect("sink edge");
     }
     g
 }
@@ -155,7 +157,11 @@ mod tests {
                 1 + 2 + 4 + 8,
                 1 + 3 + 9 + 27,
             ];
-            assert!(valid.contains(&g.task_count()), "odd size {}", g.task_count());
+            assert!(
+                valid.contains(&g.task_count()),
+                "odd size {}",
+                g.task_count()
+            );
         }
     }
 

@@ -109,7 +109,13 @@ pub const WORKFLOW_NAMES: [&str; 9] = [
 ];
 
 fn cost(rng: &mut StdRng, scale: f64, spec: &WorkflowSpec) -> f64 {
-    clipped_gaussian(rng, scale, scale / 3.0, spec.runtime_range.0, spec.runtime_range.1)
+    clipped_gaussian(
+        rng,
+        scale,
+        scale / 3.0,
+        spec.runtime_range.0,
+        spec.runtime_range.1,
+    )
 }
 
 fn io(rng: &mut StdRng, scale: f64, spec: &WorkflowSpec) -> f64 {
@@ -196,9 +202,11 @@ pub fn epigenomics_graph(rng: &mut StdRng, lanes: usize, fanout: usize) -> TaskG
             let map = g.add_task(format!("map_{l}_{f}"), cost(rng, 300.0, &sp));
             g.add_dependency(split, filt, io(rng, 20.0, &sp)).unwrap();
             g.add_dependency(filt, map, io(rng, 15.0, &sp)).unwrap();
-            g.add_dependency(map, lane_merge, io(rng, 25.0, &sp)).unwrap();
+            g.add_dependency(map, lane_merge, io(rng, 25.0, &sp))
+                .unwrap();
         }
-        g.add_dependency(lane_merge, merge, io(rng, 50.0, &sp)).unwrap();
+        g.add_dependency(lane_merge, merge, io(rng, 50.0, &sp))
+            .unwrap();
     }
     let index = g.add_task("index", cost(rng, 80.0, &sp));
     g.add_dependency(merge, index, io(rng, 60.0, &sp)).unwrap();
@@ -243,12 +251,15 @@ pub fn montage_graph(rng: &mut StdRng, n: usize) -> TaskGraph {
     let concat = g.add_task("mConcatFit", cost(rng, 30.0, &sp));
     for i in 0..n {
         let d = g.add_task(format!("mDiffFit_{i}"), cost(rng, 10.0, &sp));
-        g.add_dependency(projects[i], d, io(rng, 10.0, &sp)).unwrap();
-        g.add_dependency(projects[(i + 1) % n], d, io(rng, 10.0, &sp)).unwrap();
+        g.add_dependency(projects[i], d, io(rng, 10.0, &sp))
+            .unwrap();
+        g.add_dependency(projects[(i + 1) % n], d, io(rng, 10.0, &sp))
+            .unwrap();
         g.add_dependency(d, concat, io(rng, 1.0, &sp)).unwrap();
     }
     let bgmodel = g.add_task("mBgModel", cost(rng, 60.0, &sp));
-    g.add_dependency(concat, bgmodel, io(rng, 1.0, &sp)).unwrap();
+    g.add_dependency(concat, bgmodel, io(rng, 1.0, &sp))
+        .unwrap();
     let imgtbl = g.add_task("mImgtbl", cost(rng, 20.0, &sp));
     for (i, &p) in projects.iter().enumerate() {
         let b = g.add_task(format!("mBackground_{i}"), cost(rng, 10.0, &sp));
@@ -292,15 +303,19 @@ pub fn soykb_graph(rng: &mut StdRng, samples: usize) -> TaskGraph {
         let realign = g.add_task(format!("realign_{s}"), cost(rng, 120.0, &sp));
         g.add_dependency(align, sort, io(rng, 40.0, &sp)).unwrap();
         g.add_dependency(sort, dedup, io(rng, 35.0, &sp)).unwrap();
-        g.add_dependency(dedup, realign, io(rng, 30.0, &sp)).unwrap();
-        g.add_dependency(realign, combine, io(rng, 25.0, &sp)).unwrap();
+        g.add_dependency(dedup, realign, io(rng, 30.0, &sp))
+            .unwrap();
+        g.add_dependency(realign, combine, io(rng, 25.0, &sp))
+            .unwrap();
     }
     let merge = g.add_task("merge_gcvf", cost(rng, 60.0, &sp));
     for kind in ["snp", "indel"] {
         let select = g.add_task(format!("select_{kind}"), cost(rng, 60.0, &sp));
         let filter = g.add_task(format!("filter_{kind}"), cost(rng, 30.0, &sp));
-        g.add_dependency(combine, select, io(rng, 20.0, &sp)).unwrap();
-        g.add_dependency(select, filter, io(rng, 10.0, &sp)).unwrap();
+        g.add_dependency(combine, select, io(rng, 20.0, &sp))
+            .unwrap();
+        g.add_dependency(select, filter, io(rng, 10.0, &sp))
+            .unwrap();
         g.add_dependency(filter, merge, io(rng, 5.0, &sp)).unwrap();
     }
     g

@@ -53,7 +53,11 @@ fn main() {
                 let res = search(&*target, &*baseline, &perturber, cfg, strategy, &|rng| {
                     initial_instance(rng)
                 });
-                let r = if res.ratio.is_finite() { res.ratio } else { 1000.0 };
+                let r = if res.ratio.is_finite() {
+                    res.ratio
+                } else {
+                    1000.0
+                };
                 total += r;
                 trial_best[si].push(r);
             }
@@ -73,7 +77,15 @@ fn main() {
         row_names.push(format!("{a} vs {b}"));
         rows.push(means);
     }
-    println!("{}", render::matrix("mean best ratio (1000 = unbounded)", &row_names, &col_names, &rows));
+    println!(
+        "{}",
+        render::matrix(
+            "mean best ratio (1000 = unbounded)",
+            &row_names,
+            &col_names,
+            &rows
+        )
+    );
     println!("per-trial wins across all pairs:");
     for (s, w) in Strategy::ALL.iter().zip(&wins) {
         println!("  {:<12} {w}", s.name());

@@ -27,7 +27,14 @@ fn main() {
         let p = mean_profile(&instances);
         println!(
             "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8.2} {:>8.2} {:>9.2}",
-            gen.name, p.tasks, p.dependencies, p.nodes, p.depth, p.width, p.parallelism, p.ccr,
+            gen.name,
+            p.tasks,
+            p.dependencies,
+            p.nodes,
+            p.depth,
+            p.width,
+            p.parallelism,
+            p.ccr,
             p.speed_cv
         );
     }
@@ -36,13 +43,23 @@ fn main() {
     let path = "results/fig4_witnesses.jsonl";
     if let Ok(text) = std::fs::read_to_string(path) {
         if let Ok(lib) = WitnessLibrary::from_jsonl(&text) {
-            println!("\nPISA witness instances ({} from {path}):", lib.records.len());
+            println!(
+                "\nPISA witness instances ({} from {path}):",
+                lib.records.len()
+            );
             let instances: Vec<_> = lib.records.iter().map(|r| r.instance()).collect();
             let p = mean_profile(&instances);
             println!(
                 "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8.2} {:>8.2} {:>9.2}",
-                "witnesses", p.tasks, p.dependencies, p.nodes, p.depth, p.width, p.parallelism,
-                p.ccr, p.speed_cv
+                "witnesses",
+                p.tasks,
+                p.dependencies,
+                p.nodes,
+                p.depth,
+                p.width,
+                p.parallelism,
+                p.ccr,
+                p.speed_cv
             );
             // how far from the chains dataset (their seed family) did the
             // search wander?
@@ -52,7 +69,11 @@ fn main() {
                 "\nwitnesses vs the chains family: depth {} vs {}, width {} vs {}, CCR {:.2} vs {:.2}",
                 p.depth, base.depth, p.width, base.width, p.ccr, base.ccr
             );
-            let deepest = instances.iter().map(|i| profile(i).depth).max().unwrap_or(0);
+            let deepest = instances
+                .iter()
+                .map(|i| profile(i).depth)
+                .max()
+                .unwrap_or(0);
             println!("deepest witness: {deepest} levels");
         }
     } else {

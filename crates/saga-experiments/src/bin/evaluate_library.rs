@@ -35,7 +35,10 @@ fn main() {
     let mut own_total = 0;
     println!(
         "\n{:<12} {:<12} {:>10} {:>12}",
-        "trap for", "baseline", "stored", candidate.name()
+        "trap for",
+        "baseline",
+        "stored",
+        candidate.name()
     );
     for (target, baseline, stored, cand) in &rows {
         if *cand >= 2.0 {

@@ -22,10 +22,22 @@ fn show(label: &str, inst: &saga_core::Instance) {
 
 fn main() {
     println!("Fig. 3: HEFT vs CPoP under a minor network alteration\n");
-    show("paper instance, original network", &fixtures::fig3_original());
-    show("paper instance, node-3 links weakened", &fixtures::fig3_modified());
-    show("variant (node 3 speed 1.25), original links", &fixtures::fig3_variant_original());
-    show("variant (node 3 speed 1.25), weakened links", &fixtures::fig3_variant_modified());
+    show(
+        "paper instance, original network",
+        &fixtures::fig3_original(),
+    );
+    show(
+        "paper instance, node-3 links weakened",
+        &fixtures::fig3_modified(),
+    );
+    show(
+        "variant (node 3 speed 1.25), original links",
+        &fixtures::fig3_variant_original(),
+    );
+    show(
+        "variant (node 3 speed 1.25), weakened links",
+        &fixtures::fig3_variant_modified(),
+    );
 
     let orig = fixtures::fig3_variant_original();
     let modif = fixtures::fig3_variant_modified();

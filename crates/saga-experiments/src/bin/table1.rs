@@ -9,23 +9,108 @@ fn main() {
         "Abbrev", "Algorithm", "Complexity"
     );
     let rows = [
-        ("BIL", "Best Imaginary Level", "O(|T|^2 |V| log|V|)", "unrelated machines; optimal on chains"),
-        ("BnB", "Branch & bound + binary search", "exponential", "SMT substitute; (1+eps)-OPT reference"),
-        ("BruteForce", "Exhaustive search", "exponential", "optimal reference, toy instances only"),
-        ("CPoP", "Critical Path on Processor", "O(|T|^2 |V|)", "heterogeneous; CP pinned to fastest node"),
-        ("Duplex", "Best of MinMin and MaxMin", "O(|T|^2 |V|)", "independent-task heuristic on ready sets"),
-        ("ETF", "Earliest Task First", "O(|T| |V|^2)", "homogeneous nodes; (2-1/n)OPT+C bound"),
-        ("FCP", "Fast Critical Path", "O(|T| log|V| + |D|)", "homogeneous links; 2-candidate nodes"),
-        ("FLB", "Fast Load Balancing", "O(|T| log|V| + |D|)", "homogeneous links; earliest-finish greedy"),
-        ("FastestNode", "Serial on fastest node", "O(|T|)", "baseline; never communicates"),
-        ("GDL", "Generalized Dynamic Level (DLS)", "O(|V|^3 |T|)", "unrelated machines; dynamic levels"),
-        ("HEFT", "Heterogeneous Earliest Finish Time", "O(|T|^2 |V|)", "heterogeneous; insertion-based EFT"),
-        ("MCT", "Minimum Completion Time", "O(|T|^2 |V|)", "HEFT minus insertion and priorities"),
-        ("MET", "Minimum Execution Time", "O(|T| |V|)", "serializes under related machines"),
-        ("MaxMin", "MaxMin", "O(|T|^2 |V|)", "big rocks first on ready sets"),
-        ("MinMin", "MinMin", "O(|T|^2 |V|)", "cheapest completion first on ready sets"),
-        ("OLB", "Opportunistic Load Balancing", "O(|T| |V|)", "first-idle node, ignores speeds"),
-        ("WBA", "Workflow-Based Application", "O(|T| |D| |V|)", "randomized min-increase placement"),
+        (
+            "BIL",
+            "Best Imaginary Level",
+            "O(|T|^2 |V| log|V|)",
+            "unrelated machines; optimal on chains",
+        ),
+        (
+            "BnB",
+            "Branch & bound + binary search",
+            "exponential",
+            "SMT substitute; (1+eps)-OPT reference",
+        ),
+        (
+            "BruteForce",
+            "Exhaustive search",
+            "exponential",
+            "optimal reference, toy instances only",
+        ),
+        (
+            "CPoP",
+            "Critical Path on Processor",
+            "O(|T|^2 |V|)",
+            "heterogeneous; CP pinned to fastest node",
+        ),
+        (
+            "Duplex",
+            "Best of MinMin and MaxMin",
+            "O(|T|^2 |V|)",
+            "independent-task heuristic on ready sets",
+        ),
+        (
+            "ETF",
+            "Earliest Task First",
+            "O(|T| |V|^2)",
+            "homogeneous nodes; (2-1/n)OPT+C bound",
+        ),
+        (
+            "FCP",
+            "Fast Critical Path",
+            "O(|T| log|V| + |D|)",
+            "homogeneous links; 2-candidate nodes",
+        ),
+        (
+            "FLB",
+            "Fast Load Balancing",
+            "O(|T| log|V| + |D|)",
+            "homogeneous links; earliest-finish greedy",
+        ),
+        (
+            "FastestNode",
+            "Serial on fastest node",
+            "O(|T|)",
+            "baseline; never communicates",
+        ),
+        (
+            "GDL",
+            "Generalized Dynamic Level (DLS)",
+            "O(|V|^3 |T|)",
+            "unrelated machines; dynamic levels",
+        ),
+        (
+            "HEFT",
+            "Heterogeneous Earliest Finish Time",
+            "O(|T|^2 |V|)",
+            "heterogeneous; insertion-based EFT",
+        ),
+        (
+            "MCT",
+            "Minimum Completion Time",
+            "O(|T|^2 |V|)",
+            "HEFT minus insertion and priorities",
+        ),
+        (
+            "MET",
+            "Minimum Execution Time",
+            "O(|T| |V|)",
+            "serializes under related machines",
+        ),
+        (
+            "MaxMin",
+            "MaxMin",
+            "O(|T|^2 |V|)",
+            "big rocks first on ready sets",
+        ),
+        (
+            "MinMin",
+            "MinMin",
+            "O(|T|^2 |V|)",
+            "cheapest completion first on ready sets",
+        ),
+        (
+            "OLB",
+            "Opportunistic Load Balancing",
+            "O(|T| |V|)",
+            "first-idle node, ignores speeds",
+        ),
+        (
+            "WBA",
+            "Workflow-Based Application",
+            "O(|T| |D| |V|)",
+            "randomized min-increase placement",
+        ),
     ];
     for (abbrev, name, complexity, notes) in rows {
         println!("{abbrev:<12} {name:<38} {complexity:<22} {notes}");

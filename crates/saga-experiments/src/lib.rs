@@ -29,9 +29,13 @@ pub mod cli;
 pub mod render;
 
 /// Evaluates every scheduler on one instance and returns the makespans in
-/// scheduler order.
+/// scheduler order. One scheduling context is reused across the sweep.
 pub fn makespans(schedulers: &[Box<dyn Scheduler>], inst: &Instance) -> Vec<f64> {
-    schedulers.iter().map(|s| s.schedule(inst).makespan()).collect()
+    let mut ctx = saga_core::SchedContext::new();
+    schedulers
+        .iter()
+        .map(|s| s.makespan_into(inst, &mut ctx))
+        .collect()
 }
 
 /// Writes `content` to `results/<name>` (creating the directory), returning

@@ -17,13 +17,7 @@ pub fn matrix(
     out.push_str(title);
     out.push('\n');
     let rw = row_names.iter().map(|s| s.len()).max().unwrap_or(4).max(4);
-    let cw = col_names
-        .iter()
-        .map(|s| s.len())
-        .max()
-        .unwrap_or(6)
-        .max(6)
-        + 1;
+    let cw = col_names.iter().map(|s| s.len()).max().unwrap_or(6).max(6) + 1;
     out.push_str(&format!("{:>rw$} ", ""));
     for c in col_names {
         out.push_str(&format!("{c:>cw$}"));

@@ -30,7 +30,11 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies, for sweep loops.
-    pub const ALL: [Strategy; 3] = [Strategy::Annealing, Strategy::HillClimb, Strategy::RandomWalk];
+    pub const ALL: [Strategy; 3] = [
+        Strategy::Annealing,
+        Strategy::HillClimb,
+        Strategy::RandomWalk,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {

@@ -1,10 +1,10 @@
 //! The simulated-annealing core of PISA (the paper's Algorithm 1).
 
-use crate::perturb::Perturber;
 use crate::makespan_ratio;
+use crate::perturb::Perturber;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use saga_core::Instance;
+use saga_core::{Instance, SchedContext};
 use saga_schedulers::Scheduler;
 
 /// Annealing-schedule constants. Defaults are exactly the paper's:
@@ -77,10 +77,22 @@ pub struct Pisa<'a> {
 }
 
 impl Pisa<'_> {
-    /// The objective on one instance.
+    /// The objective on one instance (fresh scheduling context; use
+    /// [`Pisa::ratio_with`] in loops).
     pub fn ratio(&self, inst: &Instance) -> f64 {
-        let a = self.target.schedule(inst).makespan();
-        let b = self.baseline.schedule(inst).makespan();
+        let mut ctx = SchedContext::new();
+        self.ratio_with(inst, &mut ctx)
+    }
+
+    /// The objective on one instance, reusing a scheduling context — the
+    /// annealer's hot path evaluates this tens of thousands of times per
+    /// cell and allocates nothing after warm-up. The two scheduler runs
+    /// share one cost-table build via [`SchedContext::pin_tables`].
+    pub fn ratio_with(&self, inst: &Instance, ctx: &mut SchedContext) -> f64 {
+        ctx.pin_tables(inst);
+        let a = self.target.makespan_into(inst, ctx);
+        let b = self.baseline.makespan_into(inst, ctx);
+        ctx.unpin_tables();
         makespan_ratio(a, b)
     }
 
@@ -92,8 +104,9 @@ impl Pisa<'_> {
     /// paper's printed formula is replaced (it is non-monotonic in solution
     /// quality).
     pub fn run(&self, init: &dyn Fn(&mut StdRng) -> Instance) -> PisaResult {
+        let mut ctx = SchedContext::new();
         maximize(
-            &|inst| self.ratio(inst),
+            &mut |inst| self.ratio_with(inst, &mut ctx),
             self.perturber,
             self.config,
             init,
@@ -102,7 +115,14 @@ impl Pisa<'_> {
 
     /// One annealing run from a fixed initial instance.
     pub fn run_once(&self, start: Instance, rng: &mut StdRng) -> PisaResult {
-        maximize_once(&|inst| self.ratio(inst), self.perturber, self.config, start, rng)
+        let mut ctx = SchedContext::new();
+        maximize_once(
+            &mut |inst| self.ratio_with(inst, &mut ctx),
+            self.perturber,
+            self.config,
+            start,
+            rng,
+        )
     }
 }
 
@@ -111,7 +131,7 @@ impl Pisa<'_> {
 /// [`Pisa::run`] is `maximize` with the makespan-ratio objective; the
 /// metric-ratio objectives of `saga-pisa::metric` plug in here too.
 pub fn maximize(
-    objective: &dyn Fn(&Instance) -> f64,
+    objective: &mut dyn FnMut(&Instance) -> f64,
     perturber: &dyn Perturber,
     config: PisaConfig,
     init: &dyn Fn(&mut StdRng) -> Instance,
@@ -133,8 +153,12 @@ pub fn maximize(
 }
 
 /// One annealing run of [`maximize`] from a fixed initial instance.
+///
+/// The loop keeps three persistent instances (`current`, `candidate`,
+/// `best`) and moves state between them with buffer-reusing `clone_from` /
+/// swaps, so a run's steady state performs no instance allocation at all.
 pub fn maximize_once(
-    objective: &dyn Fn(&Instance) -> f64,
+    objective: &mut dyn FnMut(&Instance) -> f64,
     perturber: &dyn Perturber,
     config: PisaConfig,
     start: Instance,
@@ -144,23 +168,24 @@ pub fn maximize_once(
     let mut evaluations = 1;
     let mut current = start.clone();
     let mut cur_ratio = initial_ratio;
+    let mut candidate = start.clone();
     let mut best = start;
     let mut best_ratio = initial_ratio;
 
     let mut t = config.t_max;
     let mut iter = 0;
     while t > config.t_min && iter < config.i_max {
-        let mut candidate = current.clone();
+        candidate.clone_from(&current);
         perturber.perturb(&mut candidate, rng);
         let r = objective(&candidate);
         evaluations += 1;
         if r > best_ratio {
-            best = candidate.clone();
+            best.clone_from(&candidate);
             best_ratio = r;
-            current = candidate;
+            std::mem::swap(&mut current, &mut candidate);
             cur_ratio = r;
         } else if accept(cur_ratio, r, t, rng) {
-            current = candidate;
+            std::mem::swap(&mut current, &mut candidate);
             cur_ratio = r;
         }
         t *= config.alpha;
@@ -242,7 +267,9 @@ mod tests {
         );
         // and the ratio is real: recompute from the instance
         let again = pisa.ratio(&res.instance);
-        assert!((again - res.ratio).abs() < 1e-9 || (again.is_infinite() && res.ratio.is_infinite()));
+        assert!(
+            (again - res.ratio).abs() < 1e-9 || (again.is_infinite() && res.ratio.is_infinite())
+        );
     }
 
     #[test]
@@ -290,8 +317,10 @@ mod tests {
         assert!(res.evaluations <= 251, "{}", res.evaluations);
         // and the paper's full schedule stops at T_min, not I_max
         let full = PisaConfig::default();
-        let natural_stop =
-            ((full.t_min / full.t_max).ln() / full.alpha.ln()).ceil() as usize;
-        assert!(natural_stop < full.i_max, "T_min binds first: {natural_stop}");
+        let natural_stop = ((full.t_min / full.t_max).ln() / full.alpha.ln()).ceil() as usize;
+        assert!(
+            natural_stop < full.i_max,
+            "T_min binds first: {natural_stop}"
+        );
     }
 }

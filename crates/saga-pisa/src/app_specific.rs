@@ -106,7 +106,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut inst = app.initial_instance(&mut rng);
         let deps_before: Vec<_> = inst.graph.dependencies().map(|(a, b, _)| (a, b)).collect();
-        let link = inst.network.link(saga_core::NodeId(0), saga_core::NodeId(1));
+        let link = inst
+            .network
+            .link(saga_core::NodeId(0), saga_core::NodeId(1));
         let p = app.perturber();
         for _ in 0..1000 {
             p.perturb(&mut inst, &mut rng);
@@ -114,7 +116,8 @@ mod tests {
         let deps_after: Vec<_> = inst.graph.dependencies().map(|(a, b, _)| (a, b)).collect();
         assert_eq!(deps_before, deps_after, "structure must be rigid");
         assert_eq!(
-            inst.network.link(saga_core::NodeId(0), saga_core::NodeId(1)),
+            inst.network
+                .link(saga_core::NodeId(0), saga_core::NodeId(1)),
             link,
             "links pinned by the CCR"
         );

@@ -68,7 +68,18 @@ mod tests {
         for s in ["BIL", "GDL", "FCP", "FLB"] {
             assert!(fixed_link_weights(s), "{s}");
         }
-        for s in ["HEFT", "CPoP", "MinMin", "MaxMin", "WBA", "OLB", "MCT", "MET", "Duplex", "FastestNode"] {
+        for s in [
+            "HEFT",
+            "CPoP",
+            "MinMin",
+            "MaxMin",
+            "WBA",
+            "OLB",
+            "MCT",
+            "MET",
+            "Duplex",
+            "FastestNode",
+        ] {
             assert!(!fixed_node_weights(s), "{s}");
             assert!(!fixed_link_weights(s), "{s}");
         }

@@ -109,10 +109,7 @@ impl WitnessLibrary {
                 continue;
             };
             let inst = r.instance();
-            let ratio = makespan_ratio(
-                t.schedule(&inst).makespan(),
-                b.schedule(&inst).makespan(),
-            );
+            let ratio = makespan_ratio(t.schedule(&inst).makespan(), b.schedule(&inst).makespan());
             let recorded = r.ratio_value();
             let matches = (ratio.is_infinite() && recorded.is_infinite())
                 || (ratio - recorded).abs() <= 1e-6 * recorded.abs().max(1.0);
@@ -137,12 +134,7 @@ impl WitnessLibrary {
                     candidate.schedule(&inst).makespan(),
                     baseline.schedule(&inst).makespan(),
                 );
-                Some((
-                    r.target.clone(),
-                    r.baseline.clone(),
-                    r.ratio_value(),
-                    ratio,
-                ))
+                Some((r.target.clone(), r.baseline.clone(), r.ratio_value(), ratio))
             })
             .collect()
     }

@@ -68,14 +68,24 @@ impl Objective {
 
     /// The adversarial ratio of `target` against `baseline` on `inst` under
     /// this metric (always "how much worse is the target", > 1 is worse).
-    pub fn ratio(
+    pub fn ratio(self, target: &dyn Scheduler, baseline: &dyn Scheduler, inst: &Instance) -> f64 {
+        let mut ctx = saga_core::SchedContext::new();
+        self.ratio_with(target, baseline, inst, &mut ctx)
+    }
+
+    /// [`Objective::ratio`] reusing a scheduling context across the two
+    /// scheduler runs (the annealer's hot path).
+    pub fn ratio_with(
         self,
         target: &dyn Scheduler,
         baseline: &dyn Scheduler,
         inst: &Instance,
+        ctx: &mut saga_core::SchedContext,
     ) -> f64 {
-        let ts = target.schedule(inst);
-        let bs = baseline.schedule(inst);
+        ctx.pin_tables(inst);
+        let ts = target.schedule_into(inst, ctx);
+        let bs = baseline.schedule_into(inst, ctx);
+        ctx.unpin_tables();
         let (a, b) = match self {
             // larger throughput is better: invert
             Objective::Throughput => (self.evaluate(inst, &bs), self.evaluate(inst, &ts)),
@@ -95,8 +105,9 @@ pub fn metric_search(
     config: PisaConfig,
     init: &dyn Fn(&mut StdRng) -> Instance,
 ) -> PisaResult {
+    let mut ctx = saga_core::SchedContext::new();
     maximize(
-        &|inst| objective.ratio(target, baseline, inst),
+        &mut |inst| objective.ratio_with(target, baseline, inst, &mut ctx),
         perturber,
         config,
         init,
@@ -143,7 +154,12 @@ mod tests {
         // identical schedulers => ratio exactly 1 under every objective
         let mut rng = StdRng::seed_from_u64(1);
         let inst = initial_instance(&mut rng);
-        for obj in [Objective::Makespan, ENERGY, Objective::RentalCost, Objective::Throughput] {
+        for obj in [
+            Objective::Makespan,
+            ENERGY,
+            Objective::RentalCost,
+            Objective::Throughput,
+        ] {
             let r = obj.ratio(&Heft, &Heft, &inst);
             assert!((r - 1.0).abs() < 1e-12, "{}: {r}", obj.name());
         }
@@ -168,7 +184,11 @@ mod tests {
             },
             &|rng| initial_instance(rng),
         );
-        assert!(res.ratio > 1.0, "no energy-adversarial instance: {}", res.ratio);
+        assert!(
+            res.ratio > 1.0,
+            "no energy-adversarial instance: {}",
+            res.ratio
+        );
     }
 
     #[test]
@@ -180,8 +200,22 @@ mod tests {
             seed: 5,
             ..PisaConfig::default()
         };
-        let a = metric_search(Objective::RentalCost, &Heft, &FastestNode, &perturber, cfg, &|r| initial_instance(r));
-        let b = metric_search(Objective::RentalCost, &Heft, &FastestNode, &perturber, cfg, &|r| initial_instance(r));
+        let a = metric_search(
+            Objective::RentalCost,
+            &Heft,
+            &FastestNode,
+            &perturber,
+            cfg,
+            &|r| initial_instance(r),
+        );
+        let b = metric_search(
+            Objective::RentalCost,
+            &Heft,
+            &FastestNode,
+            &perturber,
+            cfg,
+            &|r| initial_instance(r),
+        );
         assert_eq!(a.ratio, b.ratio);
     }
 }

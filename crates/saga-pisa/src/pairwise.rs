@@ -177,6 +177,9 @@ mod tests {
                 }
             }
         }
-        assert!(above_one * 2 >= total, "{above_one}/{total} cells above 1.0");
+        assert!(
+            above_one * 2 >= total,
+            "{above_one}/{total} cells above 1.0"
+        );
     }
 }

@@ -175,18 +175,17 @@ impl GeneralPerturber {
                 true
             }
             Op::DepWeight => {
-                let deps: Vec<(TaskId, TaskId)> = inst
-                    .graph
-                    .dependencies()
-                    .map(|(a, b, _)| (a, b))
-                    .collect();
+                let deps: Vec<(TaskId, TaskId)> =
+                    inst.graph.dependencies().map(|(a, b, _)| (a, b)).collect();
                 if deps.is_empty() {
                     return false;
                 }
                 let (a, b) = deps[rng.gen_range(0..deps.len())];
                 let cur = inst.graph.dependency_cost(a, b).expect("listed dep");
                 let w = self.dep_range.nudge(rng, cur);
-                inst.graph.set_dependency_cost(a, b, w).expect("in-range cost");
+                inst.graph
+                    .set_dependency_cost(a, b, w)
+                    .expect("in-range cost");
                 true
             }
             Op::AddDep => {
@@ -212,11 +211,8 @@ impl GeneralPerturber {
                 false
             }
             Op::RemoveDep => {
-                let deps: Vec<(TaskId, TaskId)> = inst
-                    .graph
-                    .dependencies()
-                    .map(|(a, b, _)| (a, b))
-                    .collect();
+                let deps: Vec<(TaskId, TaskId)> =
+                    inst.graph.dependencies().map(|(a, b, _)| (a, b)).collect();
                 if deps.is_empty() {
                     return false;
                 }

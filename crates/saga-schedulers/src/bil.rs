@@ -18,61 +18,60 @@
 //! above (documented deviation — it affects only dense tie situations).
 //! Complexity `O(|T|^2 |V| log |V|)` per the original analysis.
 
-use crate::{util, Scheduler};
-use saga_core::{Instance, NodeId, Schedule, ScheduleBuilder, TaskId};
-
+use crate::KernelRun;
+use saga_core::{Instance, NodeId, SchedContext, TaskId};
 
 /// The BIL scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Bil;
 
-/// Computes the `BIL(t, v)` table, reverse-topologically.
-fn bil_table(inst: &Instance) -> Vec<Vec<f64>> {
-    let g = &inst.graph;
-    let net = &inst.network;
-    let nv = net.node_count();
-    let mut bil = vec![vec![0.0f64; nv]; g.task_count()];
-    for &t in inst.graph.topological_order().iter().rev() {
-        for v in net.nodes() {
+/// Computes the `BIL(t, v)` table, reverse-topologically, into a flat
+/// task-major buffer (`out[t * |V| + v]`).
+fn bil_table_into(ctx: &SchedContext, out: &mut Vec<f64>) {
+    let nv = ctx.node_count();
+    out.clear();
+    out.resize(ctx.task_count() * nv, 0.0);
+    for &t in ctx.topo_order().iter().rev() {
+        for v in ctx.nodes() {
             let mut level = 0.0f64;
-            for e in g.successors(t) {
+            for (st, cost) in ctx.succs(t) {
                 // successor stays on v...
-                let mut best = bil[e.task.index()][v.index()];
+                let mut best = out[st.index() * nv + v.index()];
                 // ...or moves elsewhere, paying the message
-                for v2 in net.nodes() {
+                for v2 in ctx.nodes() {
                     if v2 != v {
                         let candidate =
-                            bil[e.task.index()][v2.index()] + net.comm_time(e.cost, v, v2);
+                            out[st.index() * nv + v2.index()] + ctx.comm_time(cost, v, v2);
                         best = best.min(candidate);
                     }
                 }
                 level = level.max(best);
             }
-            bil[t.index()][v.index()] = net.exec_time(g.cost(t), v) + level;
+            out[t.index() * nv + v.index()] = ctx.exec_time(t, v) + level;
         }
     }
-    bil
 }
 
-impl Scheduler for Bil {
-    fn name(&self) -> &'static str {
+impl KernelRun for Bil {
+    fn kernel_name(&self) -> &'static str {
         "BIL"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let bil = bil_table(inst);
-        let n = inst.graph.task_count();
-        let mut b = ScheduleBuilder::new(inst);
-        while b.placed_count() < n {
-            let ready = util::ready_tasks(&b);
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
+        let mut bil = ctx.take_f64();
+        bil_table_into(ctx, &mut bil);
+        let n = ctx.task_count();
+        let nv = ctx.node_count();
+        while ctx.placed_count() < n {
             // priority of a ready task: its best (minimum over nodes) BIM;
             // the task with the largest best-BIM is the most urgent
             let mut chosen: Option<(TaskId, NodeId, f64, f64)> = None;
-            for &t in &ready {
+            for &t in ctx.ready() {
                 let mut best_node: Option<(NodeId, f64, f64)> = None; // (v, start, bim)
-                for v in inst.network.nodes() {
-                    let (s, _) = b.eft(t, v, false);
-                    let bim = s + bil[t.index()][v.index()];
+                for v in ctx.nodes() {
+                    let (s, _) = ctx.eft(t, v, false);
+                    let bim = s + bil[t.index() * nv + v.index()];
                     let better = match best_node {
                         None => true,
                         Some((_, _, bb)) => bim < bb,
@@ -84,18 +83,16 @@ impl Scheduler for Bil {
                 let (v, s, bim) = best_node.expect("non-empty network");
                 let better = match chosen {
                     None => true,
-                    Some((ct, _, _, cb)) => {
-                        bim > cb || (bim == cb && t < ct)
-                    }
+                    Some((ct, _, _, cb)) => bim > cb || (bim == cb && t < ct),
                 };
                 if better {
                     chosen = Some((t, v, s, bim));
                 }
             }
             let (t, v, s, _) = chosen.expect("ready set cannot be empty in a DAG");
-            b.place(t, v, s);
+            ctx.place(t, v, s);
         }
-        b.finish()
+        ctx.give_f64(bil);
     }
 }
 
@@ -103,6 +100,7 @@ impl Scheduler for Bil {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {
@@ -115,10 +113,14 @@ mod tests {
     #[test]
     fn bil_table_of_sink_is_exec_time() {
         let inst = fixtures::fig1();
-        let bil = bil_table(&inst);
+        let mut ctx = SchedContext::new();
+        ctx.reset(&inst);
+        let mut bil = Vec::new();
+        bil_table_into(&ctx, &mut bil);
+        let nv = ctx.node_count();
         // t4 (sink, cost 0.8) on v2 (speed 1.5): BIL = 0.8 / 1.5
-        assert!((bil[3][2] - 0.8 / 1.5).abs() < 1e-12);
-        assert!((bil[3][0] - 0.8).abs() < 1e-12);
+        assert!((bil[3 * nv + 2] - 0.8 / 1.5).abs() < 1e-12);
+        assert!((bil[3 * nv] - 0.8).abs() < 1e-12);
     }
 
     #[test]
@@ -135,10 +137,7 @@ mod tests {
             let inst = saga_core::Instance::new(saga_core::Network::complete(&speeds, 1.0), g);
             let bil = Bil.schedule(&inst).makespan();
             let opt = crate::BruteForce::default().schedule(&inst).makespan();
-            assert!(
-                bil <= opt + 1e-9,
-                "BIL {bil} > OPT {opt} on a chain"
-            );
+            assert!(bil <= opt + 1e-9, "BIL {bil} > OPT {opt} on a chain");
         }
     }
 

@@ -10,8 +10,8 @@
 //! DESIGN.md under substitutions.
 
 use crate::Scheduler;
-use saga_core::{ranking, Schedule, ScheduleBuilder};
 use saga_core::Instance;
+use saga_core::{SchedContext, Schedule, TaskId};
 
 /// The (1+eps)-optimal binary-search scheduler.
 #[derive(Debug, Clone, Copy)]
@@ -32,36 +32,40 @@ impl Default for BnbSearch {
     }
 }
 
-struct Oracle<'a> {
-    inst: &'a Instance,
+struct Oracle {
     bound: f64,
     states: u64,
     max_states: u64,
     found: Option<Schedule>,
 }
 
-impl Oracle<'_> {
-    fn dfs(&mut self, b: &ScheduleBuilder<'_>) -> bool {
+impl Oracle {
+    /// Depth-first feasibility search by place/unplace on the shared
+    /// context — no per-state cloning.
+    fn dfs(&mut self, ctx: &mut SchedContext) -> bool {
         if self.found.is_some() || self.states >= self.max_states {
             return self.found.is_some();
         }
         self.states += 1;
-        if b.placed_count() == self.inst.graph.task_count() {
-            self.found = Some(b.clone().finish());
+        if ctx.placed_count() == ctx.task_count() {
+            self.found = Some(ctx.snapshot_schedule());
             return true;
         }
-        for t in self.inst.graph.tasks() {
-            if b.is_placed(t) || !b.is_ready(t) {
+        for ti in 0..ctx.task_count() as u32 {
+            let t = TaskId(ti);
+            if ctx.is_placed(t) || !ctx.is_ready(t) {
                 continue;
             }
-            for v in self.inst.network.nodes() {
-                let (s, f) = b.eft(t, v, false);
+            for v in 0..ctx.node_count() as u32 {
+                let v = saga_core::NodeId(v);
+                let (s, f) = ctx.eft(t, v, false);
                 if f > self.bound + 1e-12 * self.bound.abs().max(1.0) {
                     continue;
                 }
-                let mut next = b.clone();
-                next.place(t, v, s);
-                if self.dfs(&next) {
+                ctx.place(t, v, s);
+                let hit = self.dfs(ctx);
+                ctx.unplace(t);
+                if hit {
                     return true;
                 }
             }
@@ -105,12 +109,12 @@ impl Scheduler for BnbSearch {
         "BnB"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
+    fn schedule_into(&self, inst: &Instance, ctx: &mut SchedContext) -> Schedule {
         // initial upper bound: best of the fast heuristics
-        let mut best = crate::Heft.schedule(inst);
+        let mut best = crate::Heft.schedule_into(inst, ctx);
         for h in [
-            crate::FastestNode.schedule(inst),
-            crate::Cpop.schedule(inst),
+            crate::FastestNode.schedule_into(inst, ctx),
+            crate::Cpop.schedule_into(inst, ctx),
         ] {
             if h.makespan() < best.makespan() {
                 best = h;
@@ -121,17 +125,16 @@ impl Scheduler for BnbSearch {
             return best; // nothing finite to search below
         }
         let mut lb = Self::lower_bound(inst);
-        let _ = ranking::critical_path(inst); // (kept: documents intent)
         while ub - lb > self.epsilon * lb.max(1e-12) {
             let mid = 0.5 * (lb + ub);
             let mut oracle = Oracle {
-                inst,
                 bound: mid,
                 states: 0,
                 max_states: self.max_states,
                 found: None,
             };
-            oracle.dfs(&ScheduleBuilder::new(inst));
+            ctx.reset(inst);
+            oracle.dfs(ctx);
             match oracle.found {
                 Some(s) => {
                     ub = s.makespan();

@@ -9,7 +9,7 @@
 //! instances (≲ 8 tasks, ≲ 4 nodes).
 
 use crate::Scheduler;
-use saga_core::{Instance, Schedule, ScheduleBuilder};
+use saga_core::{Instance, SchedContext, Schedule, TaskId};
 
 /// The exhaustive reference scheduler.
 #[derive(Debug, Clone, Copy)]
@@ -27,45 +27,49 @@ impl Default for BruteForce {
     }
 }
 
-struct Search<'a> {
-    inst: &'a Instance,
+struct Search {
     best_makespan: f64,
     best: Option<Schedule>,
     states: u64,
     max_states: u64,
 }
 
-impl Search<'_> {
-    fn dfs(&mut self, b: &ScheduleBuilder<'_>) {
+impl Search {
+    /// Depth-first search by place/unplace on the shared context — no
+    /// per-state cloning; the kernel's `unplace` restores counters, ready
+    /// queue and timeline exactly.
+    fn dfs(&mut self, ctx: &mut SchedContext) {
         if self.states >= self.max_states {
             return;
         }
         self.states += 1;
-        let n = self.inst.graph.task_count();
-        if b.placed_count() == n {
-            let m = b.current_makespan();
+        let n = ctx.task_count();
+        if ctx.placed_count() == n {
+            let m = ctx.current_makespan();
             if m < self.best_makespan || self.best.is_none() {
                 self.best_makespan = m;
-                self.best = Some(b.clone().finish());
+                self.best = Some(ctx.snapshot_schedule());
             }
             return;
         }
         // prune: the partial makespan only grows
-        if b.current_makespan() >= self.best_makespan {
+        if ctx.current_makespan() >= self.best_makespan {
             return;
         }
-        for t in self.inst.graph.tasks() {
-            if b.is_placed(t) || !b.is_ready(t) {
+        for ti in 0..n as u32 {
+            let t = TaskId(ti);
+            if ctx.is_placed(t) || !ctx.is_ready(t) {
                 continue;
             }
-            for v in self.inst.network.nodes() {
-                let (s, f) = b.eft(t, v, false);
+            for v in 0..ctx.node_count() as u32 {
+                let v = saga_core::NodeId(v);
+                let (s, f) = ctx.eft(t, v, false);
                 if f >= self.best_makespan && self.best.is_some() {
                     continue;
                 }
-                let mut next = b.clone();
-                next.place(t, v, s);
-                self.dfs(&next);
+                ctx.place(t, v, s);
+                self.dfs(ctx);
+                ctx.unplace(t);
             }
         }
     }
@@ -76,19 +80,19 @@ impl Scheduler for BruteForce {
         "BruteForce"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
+    fn schedule_into(&self, inst: &Instance, ctx: &mut SchedContext) -> Schedule {
         let mut search = Search {
-            inst,
             best_makespan: f64::INFINITY,
             best: None,
             states: 0,
             max_states: self.max_states,
         };
-        search.dfs(&ScheduleBuilder::new(inst));
+        ctx.reset(inst);
+        search.dfs(ctx);
         search.best.unwrap_or_else(|| {
             // cap exhausted before any complete schedule (pathological cap):
             // fall back to a valid heuristic schedule
-            crate::Heft.schedule(inst)
+            crate::Heft.schedule_into(inst, ctx)
         })
     }
 }
@@ -97,6 +101,7 @@ impl Scheduler for BruteForce {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_small_instances() {
@@ -132,7 +137,8 @@ mod tests {
         let mut g = saga_core::TaskGraph::new();
         g.add_task("a", 1.0);
         g.add_task("b", 1.0);
-        let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0, 1.0], f64::INFINITY), g);
+        let inst =
+            saga_core::Instance::new(saga_core::Network::complete(&[1.0, 1.0], f64::INFINITY), g);
         assert!((BruteForce::default().schedule(&inst).makespan() - 1.0).abs() < 1e-12);
     }
 

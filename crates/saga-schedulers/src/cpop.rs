@@ -7,45 +7,51 @@
 //! model, simply the fastest node. Non-critical tasks use insertion-based
 //! earliest finish time, as in HEFT. Complexity `O(|T|^2 |V|)`.
 
-use crate::{util, Scheduler};
-use saga_core::{ranking, Instance, Schedule, ScheduleBuilder};
+use crate::{util, KernelRun};
+use saga_core::{Instance, SchedContext};
 
 /// The CPoP scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Cpop;
 
-impl Scheduler for Cpop {
-    fn name(&self) -> &'static str {
+impl KernelRun for Cpop {
+    fn kernel_name(&self) -> &'static str {
         "CPoP"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let avg = ranking::AverageCosts::new(inst);
-        let up = ranking::upward_rank_with(inst, &avg);
-        let down = ranking::downward_rank_with(inst, &avg);
-        let cp = ranking::critical_path(inst);
-        let cp_node = inst.network.fastest_node();
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
+        let mut up = ctx.take_f64();
+        let mut down = ctx.take_f64();
+        ctx.upward_ranks_into(&mut up);
+        ctx.downward_ranks_into(&mut down);
+        // critical-path membership, evaluated lazily from the rank sums
+        // (matches `ranking::critical_path`'s tolerance rule)
+        let length = SchedContext::critical_length(&up, &down);
+        let tol = 1e-9 * length.abs().max(1.0);
+        let cp_node = ctx.fastest_node();
         let prio = |t: saga_core::TaskId| up[t.index()] + down[t.index()];
+        let on_path = |t: saga_core::TaskId| {
+            (prio(t) - length).abs() <= tol || prio(t).is_infinite() && length.is_infinite()
+        };
 
-        let mut b = ScheduleBuilder::new(inst);
-        // Priority queue over ready tasks (vector scan keeps it simple and
-        // allocation-light at the paper's instance sizes).
-        let n = inst.graph.task_count();
-        while b.placed_count() < n {
-            let ready = util::ready_tasks(&b);
-            let &t = ready
+        let n = ctx.task_count();
+        while ctx.placed_count() < n {
+            let &t = ctx
+                .ready()
                 .iter()
                 .max_by(|&&a, &&c| prio(a).total_cmp(&prio(c)).then(c.cmp(&a)))
                 .expect("ready set cannot be empty in a DAG");
-            if cp.on_path[t.index()] {
-                let (s, _) = b.eft(t, cp_node, true);
-                b.place(t, cp_node, s);
+            if on_path(t) {
+                let (s, _) = ctx.eft(t, cp_node, true);
+                ctx.place(t, cp_node, s);
             } else {
-                let (v, s, _) = util::best_eft_node(&b, t, true);
-                b.place(t, v, s);
+                let (v, s, _) = util::best_eft_node(ctx, t, true);
+                ctx.place(t, v, s);
             }
         }
-        b.finish()
+        ctx.give_f64(up);
+        ctx.give_f64(down);
     }
 }
 
@@ -53,6 +59,7 @@ impl Scheduler for Cpop {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
     use saga_core::{ranking, TaskId};
 
     #[test]
@@ -70,7 +77,11 @@ mod tests {
         let cp = ranking::critical_path(&inst);
         let fast = inst.network.fastest_node();
         for t in &cp.tasks {
-            assert_eq!(s.assignment(*t).node, fast, "critical task {t} off the CP node");
+            assert_eq!(
+                s.assignment(*t).node,
+                fast,
+                "critical task {t} off the CP node"
+            );
         }
     }
 

@@ -2,7 +2,7 @@
 //! schedule. Inherits whichever extreme suits the workload.
 
 use crate::{MaxMin, MinMin, Scheduler};
-use saga_core::{Instance, Schedule};
+use saga_core::{Instance, SchedContext, Schedule};
 
 /// The Duplex scheduler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -13,11 +13,21 @@ impl Scheduler for Duplex {
         "Duplex"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let a = MinMin.schedule(inst);
-        let b = MaxMin.schedule(inst);
+    fn schedule_into(&self, inst: &Instance, ctx: &mut SchedContext) -> Schedule {
+        let a = MinMin.schedule_into(inst, ctx);
+        let b = MaxMin.schedule_into(inst, ctx);
         // non-strict: prefer MinMin on ties (paper lists MinMin first)
         if a.makespan() <= b.makespan() {
+            a
+        } else {
+            b
+        }
+    }
+
+    fn makespan_into(&self, inst: &Instance, ctx: &mut SchedContext) -> f64 {
+        let a = MinMin.makespan_into(inst, ctx);
+        let b = MaxMin.makespan_into(inst, ctx);
+        if a <= b {
             a
         } else {
             b

@@ -8,7 +8,7 @@
 //! `scheduler_portfolio` example).
 
 use crate::Scheduler;
-use saga_core::{Instance, Schedule};
+use saga_core::{Instance, SchedContext, Schedule};
 
 /// Runs every member scheduler and returns the schedule with the smallest
 /// makespan (first member wins ties, so member order is a priority).
@@ -47,10 +47,10 @@ impl Scheduler for Ensemble {
         "Ensemble"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
+    fn schedule_into(&self, inst: &Instance, ctx: &mut SchedContext) -> Schedule {
         let mut best: Option<Schedule> = None;
         for m in &self.members {
-            let s = m.schedule(inst);
+            let s = m.schedule_into(inst, ctx);
             let better = match &best {
                 None => true,
                 Some(b) => s.makespan() < b.makespan(),
@@ -60,6 +60,13 @@ impl Scheduler for Ensemble {
             }
         }
         best.expect("non-empty ensemble")
+    }
+
+    fn makespan_into(&self, inst: &Instance, ctx: &mut SchedContext) -> f64 {
+        self.members
+            .iter()
+            .map(|m| m.makespan_into(inst, ctx))
+            .fold(f64::INFINITY, f64::min)
     }
 }
 

@@ -5,33 +5,30 @@
 //! its start or finish time), on the node where that earliest readiness is
 //! achieved; ties go to the node finishing the task sooner.
 
-use crate::{util, Scheduler};
-use saga_core::{Instance, Schedule, ScheduleBuilder};
+use crate::KernelRun;
+use saga_core::{Instance, SchedContext};
 
 /// The ERT scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Ert;
 
-impl Scheduler for Ert {
-    fn name(&self) -> &'static str {
+impl KernelRun for Ert {
+    fn kernel_name(&self) -> &'static str {
         "ERT"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let n = inst.graph.task_count();
-        let mut b = ScheduleBuilder::new(inst);
-        while b.placed_count() < n {
-            let ready = util::ready_tasks(&b);
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
+        let n = ctx.task_count();
+        while ctx.placed_count() < n {
             let mut chosen: Option<(saga_core::TaskId, saga_core::NodeId, f64, f64, f64)> = None;
-            for &t in &ready {
-                for v in inst.network.nodes() {
-                    let data_ready = b.data_ready_time(t, v);
-                    let (s, f) = b.eft(t, v, false);
+            for &t in ctx.ready() {
+                for v in ctx.nodes() {
+                    let data_ready = ctx.data_ready_time(t, v);
+                    let (s, f) = ctx.eft(t, v, false);
                     let better = match chosen {
                         None => true,
-                        Some((_, _, _, cr, cf)) => {
-                            data_ready < cr || (data_ready == cr && f < cf)
-                        }
+                        Some((_, _, _, cr, cf)) => data_ready < cr || (data_ready == cr && f < cf),
                     };
                     if better {
                         chosen = Some((t, v, s, data_ready, f));
@@ -39,9 +36,8 @@ impl Scheduler for Ert {
                 }
             }
             let (t, v, s, _, _) = chosen.expect("ready set cannot be empty in a DAG");
-            b.place(t, v, s);
+            ctx.place(t, v, s);
         }
-        b.finish()
     }
 }
 
@@ -49,6 +45,7 @@ impl Scheduler for Ert {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {

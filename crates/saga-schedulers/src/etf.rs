@@ -9,41 +9,46 @@
 //! per the original analysis (our frontier scan is `O(|T|^2 |V|)` worst
 //! case, identical on the paper's instance sizes).
 
-use crate::{util, Scheduler};
-use saga_core::{ranking, Instance, Schedule, ScheduleBuilder};
+use crate::{util, KernelRun};
+use saga_core::{Instance, SchedContext};
 
 /// The ETF scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Etf;
 
-impl Scheduler for Etf {
-    fn name(&self) -> &'static str {
+impl KernelRun for Etf {
+    fn kernel_name(&self) -> &'static str {
         "ETF"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let rank = ranking::upward_rank(inst);
-        let n = inst.graph.task_count();
-        let mut b = ScheduleBuilder::new(inst);
-        while b.placed_count() < n {
-            let ready = util::ready_tasks(&b);
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
+        let mut rank = ctx.take_f64();
+        ctx.upward_ranks_into(&mut rank);
+        let n = ctx.task_count();
+        // append-only sweep: every (start, finish) comes from the cached
+        // data-ready rows
+        let mut sweep = util::FrontierSweep::new(ctx);
+        while ctx.placed_count() < n {
             let mut chosen: Option<(saga_core::TaskId, saga_core::NodeId, f64)> = None;
-            for &t in &ready {
-                let (v, s, _) = util::best_est_node(&b, t, false);
+            for &t in ctx.ready() {
+                // per-task best node: earliest start, earlier finish on ties
+                let (v, s, _) =
+                    sweep.best_node(ctx, t, |(s, f), (bs, bf)| s < bs || (s == bs && f < bf));
                 let better = match chosen {
                     None => true,
-                    Some((ct, _, cs)) => {
-                        s < cs || (s == cs && rank[t.index()] > rank[ct.index()])
-                    }
+                    Some((ct, _, cs)) => s < cs || (s == cs && rank[t.index()] > rank[ct.index()]),
                 };
                 if better {
                     chosen = Some((t, v, s));
                 }
             }
             let (t, v, s) = chosen.expect("ready set cannot be empty in a DAG");
-            b.place(t, v, s);
+            ctx.place(t, v, s);
+            sweep.note_placed(ctx, t);
         }
-        b.finish()
+        sweep.release(ctx);
+        ctx.give_f64(rank);
     }
 }
 
@@ -51,6 +56,8 @@ impl Scheduler for Etf {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
+    use saga_core::ranking;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {
@@ -104,8 +111,7 @@ mod tests {
             let s = Etf.schedule(&inst);
             s.verify(&inst).unwrap();
             let nnodes = inst.network.node_count() as f64;
-            let lb = (inst.graph.total_cost() / nnodes)
-                .max(ranking::critical_path(&inst).length);
+            let lb = (inst.graph.total_cost() / nnodes).max(ranking::critical_path(&inst).length);
             assert!(
                 s.makespan() <= (2.0 - 1.0 / nnodes) * lb + 1e-9,
                 "seed {seed}: {} > (2-1/n) * {lb}",

@@ -5,26 +5,27 @@
 //! local), which is exactly why PISA finds instances where it beats
 //! sophisticated schedulers that over-parallelize.
 
-use crate::Scheduler;
-use saga_core::{Instance, Schedule, ScheduleBuilder};
+use crate::KernelRun;
+use saga_core::{Instance, SchedContext};
 
 /// The FastestNode baseline scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FastestNode;
 
-impl Scheduler for FastestNode {
-    fn name(&self) -> &'static str {
+impl KernelRun for FastestNode {
+    fn kernel_name(&self) -> &'static str {
         "FastestNode"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let v = inst.network.fastest_node();
-        let mut b = ScheduleBuilder::new(inst);
-        for t in inst.graph.topological_order() {
-            let (s, _) = b.eft(t, v, false);
-            b.place(t, v, s);
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
+        let v = ctx.fastest_node();
+        let n = ctx.task_count();
+        while ctx.placed_count() < n {
+            let t = ctx.ready()[0]; // lowest-id ready = topological order
+            let (s, _) = ctx.eft(t, v, false);
+            ctx.place(t, v, s);
         }
-        b.finish()
     }
 }
 
@@ -32,6 +33,7 @@ impl Scheduler for FastestNode {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {

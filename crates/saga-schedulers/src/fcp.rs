@@ -9,39 +9,40 @@
 //! its last-arriving message originates, making that message free). The
 //! candidate with the earlier finish wins.
 
-use crate::{util, Scheduler};
-use saga_core::{ranking, Instance, Schedule, ScheduleBuilder};
+use crate::{util, KernelRun};
+use saga_core::{Instance, SchedContext};
 
 /// The FCP scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fcp;
 
-impl Scheduler for Fcp {
-    fn name(&self) -> &'static str {
+impl KernelRun for Fcp {
+    fn kernel_name(&self) -> &'static str {
         "FCP"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let rank = ranking::upward_rank(inst);
-        let n = inst.graph.task_count();
-        let mut b = ScheduleBuilder::new(inst);
-        while b.placed_count() < n {
-            let ready = util::ready_tasks(&b);
-            let &t = ready
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
+        let mut rank = ctx.take_f64();
+        ctx.upward_ranks_into(&mut rank);
+        let n = ctx.task_count();
+        while ctx.placed_count() < n {
+            let &t = ctx
+                .ready()
                 .iter()
                 .max_by(|&&a, &&c| rank[a.index()].total_cmp(&rank[c.index()]).then(c.cmp(&a)))
                 .expect("ready set cannot be empty in a DAG");
-            let cand1 = util::first_idle_node(&b);
-            let cand2 = util::enabling_node(&b, t);
-            let (s1, f1) = b.eft(t, cand1, false);
-            let (s2, f2) = b.eft(t, cand2, false);
+            let cand1 = util::first_idle_node(ctx);
+            let cand2 = util::enabling_node(ctx, t);
+            let (s1, f1) = ctx.eft(t, cand1, false);
+            let (s2, f2) = ctx.eft(t, cand2, false);
             if f1 <= f2 {
-                b.place(t, cand1, s1);
+                ctx.place(t, cand1, s1);
             } else {
-                b.place(t, cand2, s2);
+                ctx.place(t, cand2, s2);
             }
         }
-        b.finish()
+        ctx.give_f64(rank);
     }
 }
 
@@ -49,6 +50,7 @@ impl Scheduler for Fcp {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {

@@ -6,29 +6,28 @@
 //! enabling node). This greedy load-balancing is cheaper on wide graphs but
 //! ignores the critical path. Complexity `O(|T| log |V| + |D|)`.
 
-use crate::{util, Scheduler};
-use saga_core::{Instance, Schedule, ScheduleBuilder};
+use crate::{util, KernelRun};
+use saga_core::{Instance, SchedContext};
 
 /// The FLB scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Flb;
 
-impl Scheduler for Flb {
-    fn name(&self) -> &'static str {
+impl KernelRun for Flb {
+    fn kernel_name(&self) -> &'static str {
         "FLB"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let n = inst.graph.task_count();
-        let mut b = ScheduleBuilder::new(inst);
-        while b.placed_count() < n {
-            let ready = util::ready_tasks(&b);
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
+        let n = ctx.task_count();
+        while ctx.placed_count() < n {
             let mut chosen: Option<(saga_core::TaskId, saga_core::NodeId, f64, f64)> = None;
-            for &t in &ready {
-                let cand1 = util::first_idle_node(&b);
-                let cand2 = util::enabling_node(&b, t);
+            for &t in ctx.ready() {
+                let cand1 = util::first_idle_node(ctx);
+                let cand2 = util::enabling_node(ctx, t);
                 for v in [cand1, cand2] {
-                    let (s, f) = b.eft(t, v, false);
+                    let (s, f) = ctx.eft(t, v, false);
                     let better = match chosen {
                         None => true,
                         Some((_, _, _, cf)) => f < cf,
@@ -39,9 +38,8 @@ impl Scheduler for Flb {
                 }
             }
             let (t, v, s, _) = chosen.expect("ready set cannot be empty in a DAG");
-            b.place(t, v, s);
+            ctx.place(t, v, s);
         }
-        b.finish()
     }
 }
 
@@ -49,6 +47,7 @@ impl Scheduler for Flb {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {

@@ -15,8 +15,8 @@
 //! node that runs it faster than typical. Each step schedules the pair with
 //! the maximum dynamic level. Complexity `O(|V|^3 |T|)` per the paper.
 
-use crate::{util, Scheduler};
-use saga_core::{Instance, Schedule, ScheduleBuilder};
+use crate::KernelRun;
+use saga_core::{Instance, SchedContext};
 
 /// The GDL (DLS) scheduler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,44 +33,41 @@ fn median(xs: &mut [f64]) -> f64 {
     }
 }
 
-impl Scheduler for Gdl {
-    fn name(&self) -> &'static str {
+impl KernelRun for Gdl {
+    fn kernel_name(&self) -> &'static str {
         "GDL"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let g = &inst.graph;
-        let net = &inst.network;
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
+        let n = ctx.task_count();
         // median execution time per task over all nodes
-        let med_exec: Vec<f64> = g
-            .tasks()
-            .map(|t| {
-                let mut xs: Vec<f64> = net.nodes().map(|v| net.exec_time(g.cost(t), v)).collect();
-                median(&mut xs)
-            })
-            .collect();
+        let mut med_exec = ctx.take_f64();
+        let mut xs = ctx.take_f64();
+        for t in ctx.tasks() {
+            xs.clear();
+            xs.extend_from_slice(ctx.exec_row(t));
+            med_exec.push(median(&mut xs));
+        }
         // static level: longest median-exec path to a sink (no comm)
-        let order = g.topological_order();
-        let mut sl = vec![0.0f64; g.task_count()];
-        for &t in order.iter().rev() {
+        let mut sl = ctx.take_f64();
+        sl.resize(n, 0.0);
+        for &t in ctx.topo_order().iter().rev() {
             let mut best = 0.0f64;
-            for e in g.successors(t) {
-                best = best.max(sl[e.task.index()]);
+            for (s, _) in ctx.succs(t) {
+                best = best.max(sl[s.index()]);
             }
             sl[t.index()] = med_exec[t.index()] + best;
         }
 
-        let n = g.task_count();
-        let mut b = ScheduleBuilder::new(inst);
-        while b.placed_count() < n {
-            let ready = util::ready_tasks(&b);
+        while ctx.placed_count() < n {
             let mut chosen: Option<(saga_core::TaskId, saga_core::NodeId, f64, f64)> = None;
-            for &t in &ready {
-                for v in net.nodes() {
-                    let da = b.data_ready_time(t, v);
-                    let tf = b.earliest_start_append(v, 0.0);
+            for &t in ctx.ready() {
+                for v in ctx.nodes() {
+                    let da = ctx.data_ready_time(t, v);
+                    let tf = ctx.earliest_start_append(v, 0.0);
                     let start = da.max(tf);
-                    let delta = med_exec[t.index()] - net.exec_time(g.cost(t), v);
+                    let delta = med_exec[t.index()] - ctx.exec_time(t, v);
                     let dl = sl[t.index()] - start + delta;
                     let better = match chosen {
                         None => true,
@@ -82,9 +79,11 @@ impl Scheduler for Gdl {
                 }
             }
             let (t, v, start, _) = chosen.expect("ready set cannot be empty in a DAG");
-            b.place(t, v, start);
+            ctx.place(t, v, start);
         }
-        b.finish()
+        ctx.give_f64(med_exec);
+        ctx.give_f64(xs);
+        ctx.give_f64(sl);
     }
 }
 
@@ -92,6 +91,7 @@ impl Scheduler for Gdl {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {

@@ -6,35 +6,38 @@
 //! the node minimizing its earliest finish time, allowed to fill idle gaps
 //! (insertion-based policy). Complexity `O(|T|^2 |V|)`.
 
-use crate::{util, Scheduler};
-use saga_core::{ranking, Instance, Schedule, ScheduleBuilder};
+use crate::{util, KernelRun};
+use saga_core::{Instance, SchedContext};
 
 /// The HEFT scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Heft;
 
-impl Scheduler for Heft {
-    fn name(&self) -> &'static str {
+impl KernelRun for Heft {
+    fn kernel_name(&self) -> &'static str {
         "HEFT"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let rank = ranking::upward_rank(inst);
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
+        let mut rank = ctx.take_f64();
+        ctx.upward_ranks_into(&mut rank);
         // Descending upward rank is a valid topological order when ranks are
         // finite, but infinite ranks (zero-speed networks) compare equal and
         // would collapse the ordering — so stably sort a topological order:
         // equal ranks keep precedence order.
-        let mut order = inst.graph.topological_order();
+        let mut order = ctx.take_tasks();
+        order.extend_from_slice(ctx.topo_order());
         // total_cmp keeps the comparator transitive even with infinities
         order.sort_by(|&a, &b| rank[b.index()].total_cmp(&rank[a.index()]));
-        let mut b = ScheduleBuilder::new(inst);
         // `sort_by` is stable, so equal ranks keep topological order and
         // every predecessor is placed before its successors.
-        for t in order {
-            let (v, s, _) = util::best_eft_node(&b, t, true);
-            b.place(t, v, s);
+        for &t in &order {
+            let (v, s, _) = util::best_eft_node(ctx, t, true);
+            ctx.place(t, v, s);
         }
-        b.finish()
+        ctx.give_f64(rank);
+        ctx.give_tasks(order);
     }
 }
 
@@ -42,6 +45,7 @@ impl Scheduler for Heft {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {
@@ -119,6 +123,10 @@ mod tests {
         // Note this *exceeds* FastestNode's serial 5.9/1.5 ≈ 3.93 — Fig. 1's
         // weak links already make HEFT over-parallelize, foreshadowing the
         // paper's adversarial findings.
-        assert!((s.makespan() - 4.2497).abs() < 1e-3, "makespan {}", s.makespan());
+        assert!(
+            (s.makespan() - 4.2497).abs() < 1e-3,
+            "makespan {}",
+            s.makespan()
+        );
     }
 }

@@ -10,7 +10,7 @@
 
 #![warn(missing_docs)]
 
-use saga_core::{Instance, Schedule};
+use saga_core::{Instance, SchedContext, Schedule};
 
 mod bil;
 mod bnb;
@@ -24,12 +24,12 @@ mod fastest_node;
 mod fcp;
 mod flb;
 mod gdl;
-mod lmt;
 mod heft;
+mod lmt;
 mod maxmin;
 mod mct;
-mod mh;
 mod met;
+mod mh;
 mod minmin;
 mod olb;
 pub mod online;
@@ -48,12 +48,12 @@ pub use fastest_node::FastestNode;
 pub use fcp::Fcp;
 pub use flb::Flb;
 pub use gdl::Gdl;
-pub use lmt::Lmt;
 pub use heft::Heft;
+pub use lmt::Lmt;
 pub use maxmin::MaxMin;
 pub use mct::Mct;
-pub use mh::Mh;
 pub use met::Met;
+pub use mh::Mh;
 pub use minmin::MinMin;
 pub use olb::Olb;
 pub use wba::Wba;
@@ -64,11 +64,68 @@ pub use wba::Wba;
 /// [`Schedule::verify`](saga_core::Schedule::verify) for every instance with
 /// at least one node — including degenerate instances with zero weights
 /// (times may be infinite, but constraints still hold).
+///
+/// [`schedule_into`](Scheduler::schedule_into) is the hot-path entry point:
+/// it reuses a caller-owned [`SchedContext`] so repeated evaluations (PISA
+/// runs thousands per cell) allocate nothing after warm-up. The plain
+/// [`schedule`](Scheduler::schedule) convenience spins up a fresh context
+/// per call and is what one-shot callers and older code use.
 pub trait Scheduler: Send + Sync {
     /// The abbreviation used in the paper's tables (e.g. `"HEFT"`).
     fn name(&self) -> &'static str;
-    /// Produces a complete schedule for `inst`.
-    fn schedule(&self, inst: &Instance) -> Schedule;
+
+    /// Produces a complete schedule for `inst`, reusing `ctx`'s buffers.
+    /// Implementations reset `ctx` themselves; the caller just keeps the
+    /// context alive between calls.
+    fn schedule_into(&self, inst: &Instance, ctx: &mut SchedContext) -> Schedule;
+
+    /// Produces a complete schedule for `inst` with a fresh context.
+    fn schedule(&self, inst: &Instance) -> Schedule {
+        let mut ctx = SchedContext::new();
+        self.schedule_into(inst, &mut ctx)
+    }
+
+    /// The makespan of the schedule for `inst`, skipping [`Schedule`]
+    /// materialization where the implementation can (the adversarial
+    /// annealer only needs the ratio of two makespans).
+    fn makespan_into(&self, inst: &Instance, ctx: &mut SchedContext) -> f64 {
+        self.schedule_into(inst, ctx).makespan()
+    }
+}
+
+/// List schedulers implemented directly on the [`SchedContext`] kernel:
+/// one `run` that resets the context and places every task. The blanket
+/// [`Scheduler`] impl derives both entry points from it, so `schedule_into`
+/// materializes the [`Schedule`] while `makespan_into` reads the makespan
+/// straight off the context.
+pub(crate) trait KernelRun: Send + Sync {
+    /// The abbreviation used in the paper's tables.
+    fn kernel_name(&self) -> &'static str;
+    /// Resets `ctx` for `inst` and places every task.
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext);
+}
+
+impl<T: KernelRun> Scheduler for T {
+    fn name(&self) -> &'static str {
+        self.kernel_name()
+    }
+
+    fn schedule_into(&self, inst: &Instance, ctx: &mut SchedContext) -> Schedule {
+        self.run(inst, ctx);
+        ctx.snapshot_schedule()
+    }
+
+    fn makespan_into(&self, inst: &Instance, ctx: &mut SchedContext) -> f64 {
+        self.run(inst, ctx);
+        // same completeness guard Schedule materialization enforces — an
+        // incomplete placement must never turn into a quietly small makespan
+        assert_eq!(
+            ctx.placed_count(),
+            ctx.task_count(),
+            "scheduler left tasks unplaced"
+        );
+        ctx.current_makespan()
+    }
 }
 
 /// The 15 polynomial-time schedulers benchmarked in the paper, in the
@@ -109,7 +166,10 @@ pub fn app_specific_schedulers() -> Vec<Box<dyn Scheduler>> {
 /// The exponential-time reference solvers (the paper's BruteForce and SMT),
 /// excluded from benchmarking/adversarial experiments.
 pub fn exact_schedulers() -> Vec<Box<dyn Scheduler>> {
-    vec![Box::new(BruteForce::default()), Box::new(BnbSearch::default())]
+    vec![
+        Box::new(BruteForce::default()),
+        Box::new(BnbSearch::default()),
+    ]
 }
 
 /// Historical comparator baselines from the papers cited in Table I (MH and
@@ -120,13 +180,42 @@ pub fn historical_schedulers() -> Vec<Box<dyn Scheduler>> {
     vec![Box::new(Ert), Box::new(Lmt), Box::new(Mh)]
 }
 
-/// Looks a scheduler up by its Table-I abbreviation (case-insensitive).
+/// A scheduler constructor in the [`by_name`] roster table.
+type SchedulerCtor = fn() -> Box<dyn Scheduler>;
+
+/// Static name table backing [`by_name`]: every scheduler the roster
+/// functions can construct, without boxing the whole roster per lookup.
+static ROSTER: &[(&str, SchedulerCtor)] = &[
+    ("BIL", || Box::new(Bil)),
+    ("CPoP", || Box::new(Cpop)),
+    ("Duplex", || Box::new(Duplex)),
+    ("ETF", || Box::new(Etf)),
+    ("FCP", || Box::new(Fcp)),
+    ("FLB", || Box::new(Flb)),
+    ("FastestNode", || Box::new(FastestNode)),
+    ("GDL", || Box::new(Gdl)),
+    ("HEFT", || Box::new(Heft)),
+    ("MCT", || Box::new(Mct)),
+    ("MET", || Box::new(Met)),
+    ("MaxMin", || Box::new(MaxMin)),
+    ("MinMin", || Box::new(MinMin)),
+    ("OLB", || Box::new(Olb)),
+    ("WBA", || Box::new(Wba::default())),
+    ("BruteForce", || Box::new(BruteForce::default())),
+    ("BnB", || Box::new(BnbSearch::default())),
+    ("ERT", || Box::new(Ert)),
+    ("LMT", || Box::new(Lmt)),
+    ("MH", || Box::new(Mh)),
+];
+
+/// Looks a scheduler up by its Table-I abbreviation (case-insensitive),
+/// constructing only the match (the table above is static — no roster-wide
+/// boxing per lookup).
 pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
-    let mut all = benchmark_schedulers();
-    all.extend(exact_schedulers());
-    all.extend(historical_schedulers());
-    all.into_iter()
-        .find(|s| s.name().eq_ignore_ascii_case(name))
+    ROSTER
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, ctor)| ctor())
 }
 
 #[cfg(test)]
@@ -173,5 +262,20 @@ mod tests {
         assert_eq!(by_name("CPOP").unwrap().name(), "CPoP");
         assert_eq!(by_name("bnb").unwrap().name(), "BnB");
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn by_name_table_covers_every_roster_scheduler() {
+        // the static ROSTER is hand-maintained; keep it in lockstep with the
+        // roster constructors so lookups never silently miss a scheduler
+        let mut all = benchmark_schedulers();
+        all.extend(exact_schedulers());
+        all.extend(historical_schedulers());
+        for s in &all {
+            let found = by_name(s.name())
+                .unwrap_or_else(|| panic!("{} missing from the by_name table", s.name()));
+            assert_eq!(found.name(), s.name());
+        }
+        assert_eq!(ROSTER.len(), all.len(), "extra or stale by_name entries");
     }
 }

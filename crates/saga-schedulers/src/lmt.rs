@@ -7,14 +7,17 @@
 //! tasks are mutually independent — tasks are taken largest-cost-first and
 //! each is assigned to the node minimizing its completion time.
 
-use crate::{util, Scheduler};
-use saga_core::{Instance, Schedule, ScheduleBuilder, TaskId};
+use crate::{util, KernelRun};
+use saga_core::{Instance, SchedContext};
 
 /// The Levelized Min Time scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Lmt;
 
-/// Longest-path depth of every task from the source frontier.
+/// Longest-path depth of every task from the source frontier (reference
+/// implementation used by the unit tests; the scheduler computes the same
+/// quantity into pooled buffers).
+#[cfg(test)]
 fn levels(inst: &Instance) -> Vec<usize> {
     let g = &inst.graph;
     let mut level = vec![0usize; g.task_count()];
@@ -28,33 +31,44 @@ fn levels(inst: &Instance) -> Vec<usize> {
     level
 }
 
-impl Scheduler for Lmt {
-    fn name(&self) -> &'static str {
+impl KernelRun for Lmt {
+    fn kernel_name(&self) -> &'static str {
         "LMT"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let level = levels(inst);
-        let max_level = level.iter().copied().max().unwrap_or(0);
-        let mut b = ScheduleBuilder::new(inst);
-        for l in 0..=max_level {
-            let mut tier: Vec<TaskId> = inst
-                .graph
-                .tasks()
-                .filter(|t| level[t.index()] == l)
-                .collect();
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
+        // longest-path depth of every task, as exact small floats so the
+        // buffer pools cover it
+        let mut level = ctx.take_f64();
+        level.resize(ctx.task_count(), 0.0);
+        for &t in ctx.topo_order() {
+            let lt = level[t.index()];
+            for (s, _) in ctx.succs(t) {
+                let l = &mut level[s.index()];
+                *l = l.max(lt + 1.0);
+            }
+        }
+        let max_level = level.iter().copied().fold(0.0f64, f64::max);
+        let mut tier = ctx.take_tasks();
+        let mut l = 0.0f64;
+        while l <= max_level {
+            tier.clear();
+            tier.extend(ctx.tasks().filter(|t| level[t.index()] == l));
             tier.sort_by(|&a, &c| {
                 inst.graph
                     .cost(c)
                     .total_cmp(&inst.graph.cost(a))
                     .then(a.cmp(&c))
             });
-            for t in tier {
-                let (v, s, _) = util::best_eft_node(&b, t, false);
-                b.place(t, v, s);
+            for &t in &tier {
+                let (v, s, _) = util::best_eft_node(ctx, t, false);
+                ctx.place(t, v, s);
             }
+            l += 1.0;
         }
-        b.finish()
+        ctx.give_f64(level);
+        ctx.give_tasks(tier);
     }
 }
 
@@ -62,6 +76,7 @@ impl Scheduler for Lmt {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {

@@ -4,21 +4,21 @@
 //! *minimum* completion time is *largest* (get the big rocks in early).
 //! Complexity `O(|T|^2 |V|)`.
 
-use crate::minmin::min_max_schedule;
-use crate::Scheduler;
-use saga_core::{Instance, Schedule};
+use crate::minmin::min_max_run;
+use crate::KernelRun;
+use saga_core::{Instance, SchedContext};
 
 /// The MaxMin scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MaxMin;
 
-impl Scheduler for MaxMin {
-    fn name(&self) -> &'static str {
+impl KernelRun for MaxMin {
+    fn kernel_name(&self) -> &'static str {
         "MaxMin"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        min_max_schedule(inst, true)
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        min_max_run(inst, ctx, true);
     }
 }
 
@@ -26,6 +26,7 @@ impl Scheduler for MaxMin {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {

@@ -5,25 +5,28 @@
 //! scheduled tasks — "HEFT without insertion or its priority function", as
 //! the paper puts it. Complexity `O(|T|^2 |V|)`.
 
-use crate::{util, Scheduler};
-use saga_core::{Instance, Schedule, ScheduleBuilder};
+use crate::{util, KernelRun};
+use saga_core::{Instance, SchedContext};
 
 /// The MCT scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Mct;
 
-impl Scheduler for Mct {
-    fn name(&self) -> &'static str {
+impl KernelRun for Mct {
+    fn kernel_name(&self) -> &'static str {
         "MCT"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let mut b = ScheduleBuilder::new(inst);
-        for t in inst.graph.topological_order() {
-            let (v, s, _) = util::best_eft_node(&b, t, false);
-            b.place(t, v, s);
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
+        // popping the lowest-id ready task at each step reproduces the
+        // smallest-id-tie-break topological order without materializing it
+        let n = ctx.task_count();
+        while ctx.placed_count() < n {
+            let t = ctx.ready()[0];
+            let (v, s, _) = util::best_eft_node(ctx, t, false);
+            ctx.place(t, v, s);
         }
-        b.finish()
     }
 }
 
@@ -31,6 +34,7 @@ impl Scheduler for Mct {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {
@@ -62,8 +66,7 @@ mod tests {
         g.add_dependency(s0, big, 10.0).unwrap();
         g.add_dependency(s0, small, 0.0).unwrap();
         // one fast node, one slow helper node
-        let inst =
-            saga_core::Instance::new(saga_core::Network::complete(&[1.0, 0.01], 1.0), g);
+        let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0, 0.01], 1.0), g);
         let heft = crate::Heft.schedule(&inst);
         let mct = Mct.schedule(&inst);
         heft.verify(&inst).unwrap();

@@ -7,35 +7,35 @@
 //! accidentally. Tasks are visited in topological order and appended at the
 //! earliest feasible time. Complexity `O(|T| |V|)`.
 
-use crate::Scheduler;
-use saga_core::{Instance, NodeId, Schedule, ScheduleBuilder};
+use crate::KernelRun;
+use saga_core::{Instance, NodeId, SchedContext};
 
 /// The MET scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Met;
 
-impl Scheduler for Met {
-    fn name(&self) -> &'static str {
+impl KernelRun for Met {
+    fn kernel_name(&self) -> &'static str {
         "MET"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let mut b = ScheduleBuilder::new(inst);
-        for t in inst.graph.topological_order() {
-            // argmin over nodes of the execution time alone
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
+        let n = ctx.task_count();
+        while ctx.placed_count() < n {
+            let t = ctx.ready()[0]; // lowest-id ready = topological order
+                                    // argmin over nodes of the cached execution time alone
             let mut best = NodeId(0);
             let mut best_exec = f64::INFINITY;
-            for v in inst.network.nodes() {
-                let e = inst.network.exec_time(inst.graph.cost(t), v);
+            for (vi, &e) in ctx.exec_row(t).iter().enumerate() {
                 if e < best_exec {
                     best_exec = e;
-                    best = v;
+                    best = NodeId(vi as u32);
                 }
             }
-            let (s, _) = b.eft(t, best, false);
-            b.place(t, best, s);
+            let (s, _) = ctx.eft(t, best, false);
+            ctx.place(t, best, s);
         }
-        b.finish()
     }
 }
 
@@ -43,6 +43,7 @@ impl Scheduler for Met {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {
@@ -69,6 +70,9 @@ mod tests {
         let inst = saga_core::Instance::new(saga_core::Network::complete(&[1.0, 5.0], 1.0), g);
         let s = Met.schedule(&inst);
         // exec time 0 everywhere; deterministic tie-break takes node 0
-        assert_eq!(s.assignment(saga_core::TaskId(0)).node, saga_core::NodeId(0));
+        assert_eq!(
+            s.assignment(saga_core::TaskId(0)).node,
+            saga_core::NodeId(0)
+        );
     }
 }

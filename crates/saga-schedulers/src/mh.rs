@@ -6,28 +6,31 @@
 //! node minimizing its completion time. Implemented here so the repository
 //! can reproduce the historical comparisons its Table I cites.
 
-use crate::{util, Scheduler};
-use saga_core::{ranking, Instance, Schedule, ScheduleBuilder};
+use crate::{util, KernelRun};
+use saga_core::{Instance, SchedContext};
 
 /// The Mapping Heuristic scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Mh;
 
-impl Scheduler for Mh {
-    fn name(&self) -> &'static str {
+impl KernelRun for Mh {
+    fn kernel_name(&self) -> &'static str {
         "MH"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let rank = ranking::upward_rank(inst);
-        let mut order = inst.graph.topological_order();
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
+        let mut rank = ctx.take_f64();
+        ctx.upward_ranks_into(&mut rank);
+        let mut order = ctx.take_tasks();
+        order.extend_from_slice(ctx.topo_order());
         order.sort_by(|&a, &b| rank[b.index()].total_cmp(&rank[a.index()]));
-        let mut b = ScheduleBuilder::new(inst);
-        for t in order {
-            let (v, s, _) = util::best_eft_node(&b, t, false);
-            b.place(t, v, s);
+        for &t in &order {
+            let (v, s, _) = util::best_eft_node(ctx, t, false);
+            ctx.place(t, v, s);
         }
-        b.finish()
+        ctx.give_f64(rank);
+        ctx.give_tasks(order);
     }
 }
 
@@ -35,6 +38,7 @@ impl Scheduler for Mh {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {

@@ -6,8 +6,8 @@
 //! as in SAGA we apply it to the ready frontier of the DAG. Complexity
 //! `O(|T|^2 |V|)`.
 
-use crate::{util, Scheduler};
-use saga_core::{Instance, Schedule, ScheduleBuilder};
+use crate::{util, KernelRun};
+use saga_core::{Instance, SchedContext};
 
 /// The MinMin scheduler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -15,14 +15,17 @@ pub struct MinMin;
 
 /// Shared MinMin/MaxMin sweep: pick the ready task whose best EFT is
 /// extremal (`want_max = false` for MinMin, `true` for MaxMin) and place it.
-pub(crate) fn min_max_schedule(inst: &Instance, want_max: bool) -> Schedule {
-    let n = inst.graph.task_count();
-    let mut b = ScheduleBuilder::new(inst);
-    while b.placed_count() < n {
-        let ready = util::ready_tasks(&b);
+/// Append-only, so the [`util::FrontierSweep`] cache answers every
+/// `(start, finish)` from cached data-ready rows.
+pub(crate) fn min_max_run(inst: &Instance, ctx: &mut SchedContext, want_max: bool) {
+    ctx.reset(inst);
+    let n = ctx.task_count();
+    let mut sweep = util::FrontierSweep::new(ctx);
+    while ctx.placed_count() < n {
         let mut chosen = None;
-        for &t in &ready {
-            let (v, s, f) = util::best_eft_node(&b, t, false);
+        for &t in ctx.ready() {
+            // per-task best node: minimum finish, lower id on ties
+            let (v, s, f) = sweep.best_node(ctx, t, |(_, f), (_, bf)| f < bf);
             let better = match chosen {
                 None => true,
                 Some((_, _, _, bf)) => {
@@ -38,18 +41,19 @@ pub(crate) fn min_max_schedule(inst: &Instance, want_max: bool) -> Schedule {
             }
         }
         let (t, v, s, _) = chosen.expect("ready set cannot be empty in a DAG");
-        b.place(t, v, s);
+        ctx.place(t, v, s);
+        sweep.note_placed(ctx, t);
     }
-    b.finish()
+    sweep.release(ctx);
 }
 
-impl Scheduler for MinMin {
-    fn name(&self) -> &'static str {
+impl KernelRun for MinMin {
+    fn kernel_name(&self) -> &'static str {
         "MinMin"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        min_max_schedule(inst, false)
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        min_max_run(inst, ctx, false);
     }
 }
 
@@ -57,6 +61,7 @@ impl Scheduler for MinMin {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {

@@ -5,26 +5,27 @@
 //! the paper calls it "probably useful only as a baseline". Complexity
 //! `O(|T| |V|)`.
 
-use crate::{util, Scheduler};
-use saga_core::{Instance, Schedule, ScheduleBuilder};
+use crate::{util, KernelRun};
+use saga_core::{Instance, SchedContext};
 
 /// The OLB scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Olb;
 
-impl Scheduler for Olb {
-    fn name(&self) -> &'static str {
+impl KernelRun for Olb {
+    fn kernel_name(&self) -> &'static str {
         "OLB"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
-        let mut b = ScheduleBuilder::new(inst);
-        for t in inst.graph.topological_order() {
-            let v = util::first_idle_node(&b);
-            let (s, _) = b.eft(t, v, false);
-            b.place(t, v, s);
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
+        let n = ctx.task_count();
+        while ctx.placed_count() < n {
+            let t = ctx.ready()[0]; // lowest-id ready = topological order
+            let v = util::first_idle_node(ctx);
+            let (s, _) = ctx.eft(t, v, false);
+            ctx.place(t, v, s);
         }
-        b.finish()
     }
 }
 
@@ -32,6 +33,7 @@ impl Scheduler for Olb {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {

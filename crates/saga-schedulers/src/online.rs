@@ -98,7 +98,10 @@ impl OnlinePolicy for OnlineEft {
         for &t in visible {
             for v in b.instance().network.nodes() {
                 let start = min_start(t, v);
-                let finish = start + b.instance().network.exec_time(b.instance().graph.cost(t), v);
+                let finish = start
+                    + b.instance()
+                        .network
+                        .exec_time(b.instance().graph.cost(t), v);
                 let better = match best {
                     None => true,
                     Some((_, _, _, bf)) => finish < bf,
@@ -128,7 +131,7 @@ impl OnlinePolicy for OnlineOlb {
         visible: &[TaskId],
         min_start: &dyn Fn(TaskId, NodeId) -> f64,
     ) -> (TaskId, NodeId, f64) {
-        let v = util::first_idle_node(b);
+        let v = util::first_idle_node(b.ctx());
         // earliest-released visible task first (FIFO), ties by id
         let t = *visible
             .iter()
@@ -149,15 +152,16 @@ pub fn simulate_online(
     let mut b = ScheduleBuilder::new(inst);
     let mut clock = 0.0f64;
     while b.placed_count() < n {
-        let ready = util::ready_tasks(&b);
-        let visible: Vec<TaskId> = ready
+        let visible: Vec<TaskId> = b
+            .ready()
             .iter()
             .copied()
             .filter(|t| releases.0[t.index()] <= clock)
             .collect();
         if visible.is_empty() {
             // advance to the next arrival among ready tasks
-            clock = ready
+            clock = b
+                .ready()
                 .iter()
                 .map(|t| releases.0[t.index()])
                 .fold(f64::INFINITY, f64::min);
@@ -195,7 +199,9 @@ impl<P: OnlinePolicy + Send + Sync> Scheduler for OnlineScheduler<P> {
         self.policy.name()
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
+    fn schedule_into(&self, inst: &Instance, _ctx: &mut saga_core::SchedContext) -> Schedule {
+        // the online event loop drives its own builder; the shared context
+        // is unused (release-time simulation is not a hot path)
         simulate_online(inst, &ReleaseTimes::all_zero(inst), &self.policy)
     }
 }

@@ -1,22 +1,137 @@
 //! Shared helpers for list schedulers, plus reusable test fixtures.
+//!
+//! All helpers operate on the [`SchedContext`] kernel; builder-based callers
+//! reach it through [`ScheduleBuilder::ctx`](saga_core::ScheduleBuilder::ctx).
 
-use saga_core::{NodeId, ScheduleBuilder, TaskId};
+use saga_core::{NodeId, SchedContext, TaskId};
 
-/// Tasks that are unplaced and have all predecessors placed.
-pub fn ready_tasks(b: &ScheduleBuilder<'_>) -> Vec<TaskId> {
-    b.instance()
-        .graph
-        .tasks()
-        .filter(|&t| !b.is_placed(t) && b.is_ready(t))
-        .collect()
+/// Stack-buffer capacity for per-node scratch in the selection helpers;
+/// networks wider than this fall back to per-node queries.
+const STACK_NODES: usize = 32;
+
+/// Cached `(data-ready, node-tail)` state for *append-only* frontier sweeps
+/// (MinMin/MaxMin, ETF): a ready task's data-ready times never change (its
+/// predecessors are all placed), and appending to a node moves only that
+/// node's tail — so each task's data-ready row is computed exactly once and
+/// every `(start, finish)` the sweep compares is recomposed as
+/// `tail.max(ready) + duration` from cached values, division-free and
+/// bit-identical to the direct queries.
+pub(crate) struct FrontierSweep {
+    /// `drt[t * |V| + v]`, valid for tasks that have entered the ready set.
+    drt: Vec<f64>,
+    /// Last finish per node (`0.0` for an empty timeline, which composes to
+    /// the same start: data-ready times are never negative).
+    tails: Vec<f64>,
+}
+
+impl FrontierSweep {
+    /// Builds the cache (buffers from the context pools) and fills the rows
+    /// of the initially ready tasks.
+    pub fn new(ctx: &mut SchedContext) -> Self {
+        let nv = ctx.node_count();
+        let mut drt = ctx.take_f64();
+        drt.resize(ctx.task_count() * nv, 0.0);
+        let mut tails = ctx.take_f64();
+        tails.resize(nv, 0.0);
+        let mut sweep = FrontierSweep { drt, tails };
+        for &t in ctx.ready() {
+            sweep.fill_row(ctx, t);
+        }
+        sweep
+    }
+
+    fn fill_row(&mut self, ctx: &SchedContext, t: TaskId) {
+        let nv = ctx.node_count();
+        ctx.data_ready_times_into(t, &mut self.drt[t.index() * nv..][..nv]);
+    }
+
+    /// The append-only start of `t` on node `v` — identical to
+    /// `ctx.earliest_start_append(v, ctx.data_ready_time(t, v))`.
+    #[inline]
+    pub fn start(&self, nv: usize, t: TaskId, v: usize) -> f64 {
+        self.tails[v].max(self.drt[t.index() * nv + v])
+    }
+
+    /// Records a placement made by the owning sweep: advances the node's
+    /// tail (append-only, so the placed slot is the new tail) and fills the
+    /// rows of successors that just became ready.
+    pub fn note_placed(&mut self, ctx: &SchedContext, t: TaskId) {
+        self.tails[ctx.node_of(t).index()] = ctx.finish_time(t);
+        for (s, _) in ctx.succs(t) {
+            if !ctx.is_placed(s) && ctx.is_ready(s) {
+                self.fill_row(ctx, s);
+            }
+        }
+    }
+
+    /// The best node for `t` under `better((start, finish), (best_start,
+    /// best_finish))`, scanning nodes in ascending id order (first win on
+    /// ties) over the cached rows. Shared by the MinMin/MaxMin and ETF
+    /// sweeps, which differ only in this comparator.
+    pub fn best_node(
+        &self,
+        ctx: &SchedContext,
+        t: TaskId,
+        better: impl Fn((f64, f64), (f64, f64)) -> bool,
+    ) -> (NodeId, f64, f64) {
+        let nv = ctx.node_count();
+        let mut best: Option<(NodeId, f64, f64)> = None;
+        for (v, &duration) in ctx.exec_row(t).iter().enumerate() {
+            let s = self.start(nv, t, v);
+            let f = s + duration;
+            let take = match best {
+                None => true,
+                Some((_, bs, bf)) => better((s, f), (bs, bf)),
+            };
+            if take {
+                best = Some((NodeId(v as u32), s, f));
+            }
+        }
+        best.expect("network has at least one node")
+    }
+
+    /// Returns the buffers to the context pools.
+    pub fn release(self, ctx: &mut SchedContext) {
+        ctx.give_f64(self.drt);
+        ctx.give_f64(self.tails);
+    }
 }
 
 /// The node minimizing the earliest finish time of `t`, with the
 /// corresponding `(start, finish)`. Ties go to the lower node id.
-pub fn best_eft_node(b: &ScheduleBuilder<'_>, t: TaskId, insertion: bool) -> (NodeId, f64, f64) {
+///
+/// Nodes whose lower bound `data_ready + duration` cannot beat the incumbent
+/// finish are skipped before any timeline scan; since a node only wins on a
+/// strictly smaller finish and the true finish is never below that bound,
+/// the selected node, start and finish are bit-identical to the full sweep.
+pub fn best_eft_node(ctx: &SchedContext, t: TaskId, insertion: bool) -> (NodeId, f64, f64) {
+    let mut ready_buf = [0.0f64; STACK_NODES];
+    let nv = ctx.node_count();
+    let batched = nv <= STACK_NODES;
+    if batched {
+        ctx.data_ready_times_into(t, &mut ready_buf[..nv]);
+    }
     let mut best: Option<(NodeId, f64, f64)> = None;
-    for v in b.instance().network.nodes() {
-        let (s, f) = b.eft(t, v, insertion);
+    for v in ctx.nodes() {
+        let ready = if batched {
+            ready_buf[v.index()]
+        } else {
+            ctx.data_ready_time(t, v)
+        };
+        let duration = ctx.exec_time(t, v);
+        if let Some((_, _, bf)) = best {
+            if ready + duration >= bf {
+                continue;
+            }
+        }
+        // same composition as `ctx.eft`, reusing the ready time computed
+        // for the bound
+        let s = if insertion {
+            ctx.earliest_start_insertion(v, ready, duration)
+        } else {
+            ctx.earliest_start_append(v, ready)
+        };
+        let f = s + duration;
         let better = match best {
             None => true,
             Some((_, _, bf)) => f < bf,
@@ -30,10 +145,37 @@ pub fn best_eft_node(b: &ScheduleBuilder<'_>, t: TaskId, insertion: bool) -> (No
 
 /// The node minimizing the earliest *start* time of `t` (ETF's criterion),
 /// with the corresponding `(start, finish)`. Ties go to the earlier finish.
-pub fn best_est_node(b: &ScheduleBuilder<'_>, t: TaskId, insertion: bool) -> (NodeId, f64, f64) {
+///
+/// Like [`best_eft_node`], nodes are pruned when even their data-ready lower
+/// bound starts strictly after the incumbent (a strictly later start can
+/// never win, and an equal one only refines the finish tie-break, which the
+/// bound does not exclude) — the outcome is bit-identical to the full sweep.
+pub fn best_est_node(ctx: &SchedContext, t: TaskId, insertion: bool) -> (NodeId, f64, f64) {
+    let mut ready_buf = [0.0f64; STACK_NODES];
+    let nv = ctx.node_count();
+    let batched = nv <= STACK_NODES;
+    if batched {
+        ctx.data_ready_times_into(t, &mut ready_buf[..nv]);
+    }
     let mut best: Option<(NodeId, f64, f64)> = None;
-    for v in b.instance().network.nodes() {
-        let (s, f) = b.eft(t, v, insertion);
+    for v in ctx.nodes() {
+        let ready = if batched {
+            ready_buf[v.index()]
+        } else {
+            ctx.data_ready_time(t, v)
+        };
+        if let Some((_, bs, _)) = best {
+            if ready > bs {
+                continue;
+            }
+        }
+        let duration = ctx.exec_time(t, v);
+        let s = if insertion {
+            ctx.earliest_start_insertion(v, ready, duration)
+        } else {
+            ctx.earliest_start_append(v, ready)
+        };
+        let f = s + duration;
         let better = match best {
             None => true,
             Some((_, bs, bf)) => s < bs || (s == bs && f < bf),
@@ -48,12 +190,11 @@ pub fn best_est_node(b: &ScheduleBuilder<'_>, t: TaskId, insertion: bool) -> (No
 /// The node of the predecessor whose message constrains `t`'s start the most
 /// if `t` were to run anywhere else — FCP/FLB's "enabling node". Falls back
 /// to the fastest node for source tasks.
-pub fn enabling_node(b: &ScheduleBuilder<'_>, t: TaskId) -> NodeId {
-    let g = &b.instance().graph;
+pub fn enabling_node(ctx: &SchedContext, t: TaskId) -> NodeId {
     let mut best: Option<(f64, NodeId)> = None;
-    for e in g.predecessors(t) {
-        let arrival = b.finish_time(e.task); // message is free on the sender's own node
-        let candidate = (arrival, b.node_of(e.task));
+    for (p, _) in ctx.preds(t) {
+        let arrival = ctx.finish_time(p); // message is free on the sender's own node
+        let candidate = (arrival, ctx.node_of(p));
         let better = match best {
             None => true,
             // the *last* arriving message defines the enabling node
@@ -63,22 +204,27 @@ pub fn enabling_node(b: &ScheduleBuilder<'_>, t: TaskId) -> NodeId {
             best = Some(candidate);
         }
     }
-    best.map(|(_, v)| v)
-        .unwrap_or_else(|| b.instance().network.fastest_node())
+    best.map(|(_, v)| v).unwrap_or_else(|| ctx.fastest_node())
 }
 
 /// The node whose timeline frees up first (FCP/FLB's "first idle" candidate).
-pub fn first_idle_node(b: &ScheduleBuilder<'_>) -> NodeId {
-    let mut best = NodeId(0);
-    let mut best_t = f64::INFINITY;
-    for v in b.instance().network.nodes() {
-        let t = b.earliest_start_append(v, 0.0);
-        if t < best_t {
-            best_t = t;
-            best = v;
+///
+/// # Panics
+/// Panics on an empty network, like its sibling selectors — silently
+/// answering `NodeId(0)` would index out of bounds one call later.
+pub fn first_idle_node(ctx: &SchedContext) -> NodeId {
+    let mut best: Option<(NodeId, f64)> = None;
+    for v in ctx.nodes() {
+        let t = ctx.earliest_start_append(v, 0.0);
+        let better = match best {
+            None => true,
+            Some((_, bt)) => t < bt,
+        };
+        if better {
+            best = Some((v, t));
         }
     }
-    best
+    best.map(|(v, _)| v).expect("network has at least one node")
 }
 
 /// Test fixtures shared by the scheduler unit tests and downstream crates'
@@ -208,50 +354,87 @@ pub mod fixtures {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saga_core::ScheduleBuilder;
+
+    fn ctx_for(inst: &saga_core::Instance) -> SchedContext {
+        let mut ctx = SchedContext::new();
+        ctx.reset(inst);
+        ctx
+    }
 
     #[test]
-    fn ready_tasks_start_with_sources() {
+    fn ready_queue_starts_with_sources() {
         let inst = fixtures::fig1();
-        let b = ScheduleBuilder::new(&inst);
-        assert_eq!(ready_tasks(&b), vec![TaskId(0)]);
+        let ctx = ctx_for(&inst);
+        assert_eq!(ctx.ready(), &[TaskId(0)]);
     }
 
     #[test]
     fn best_eft_node_prefers_faster_node() {
         let inst = fixtures::fig1();
-        let b = ScheduleBuilder::new(&inst);
+        let ctx = ctx_for(&inst);
         // t1 alone: fastest node (v2, speed 1.5) gives the earliest finish
-        let (v, s, f) = best_eft_node(&b, TaskId(0), true);
+        let (v, s, f) = best_eft_node(&ctx, TaskId(0), true);
         assert_eq!(v, NodeId(2));
         assert_eq!(s, 0.0);
         assert!((f - 1.7 / 1.5).abs() < 1e-12);
     }
 
     #[test]
+    fn best_est_node_prefers_earliest_start_then_finish() {
+        let inst = fixtures::fig1();
+        let mut ctx = ctx_for(&inst);
+        ctx.place(TaskId(0), NodeId(0), 0.0); // occupies node 0 until 1.7
+                                              // t2's data is ready everywhere at different times; all idle nodes
+                                              // can start at data-ready, so the earliest-start winner is the node
+                                              // with the cheapest incoming message, ties broken by finish
+        let (v, s, f) = best_est_node(&ctx, TaskId(1), false);
+        let mut expect: Option<(NodeId, f64, f64)> = None;
+        for cand in ctx.nodes() {
+            let (cs, cf) = ctx.eft(TaskId(1), cand, false);
+            let better = match expect {
+                None => true,
+                Some((_, bs, bf)) => cs < bs || (cs == bs && cf < bf),
+            };
+            if better {
+                expect = Some((cand, cs, cf));
+            }
+        }
+        assert_eq!(Some((v, s, f)), expect);
+    }
+
+    #[test]
     fn first_idle_node_is_empty_node() {
         let inst = fixtures::fig1();
-        let mut b = ScheduleBuilder::new(&inst);
-        b.place(TaskId(0), NodeId(0), 0.0);
-        let v = first_idle_node(&b);
+        let mut ctx = ctx_for(&inst);
+        ctx.place(TaskId(0), NodeId(0), 0.0);
+        let v = first_idle_node(&ctx);
         assert_ne!(v, NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "network has at least one node")]
+    fn first_idle_node_panics_on_empty_network() {
+        let g = saga_core::TaskGraph::new();
+        let inst = saga_core::Instance::new(saga_core::Network::complete(&[], 1.0), g);
+        let ctx = ctx_for(&inst);
+        first_idle_node(&ctx);
     }
 
     #[test]
     fn enabling_node_is_latest_predecessor() {
         let inst = fixtures::fig1();
-        let mut b = ScheduleBuilder::new(&inst);
-        b.place(TaskId(0), NodeId(2), 0.0);
-        b.place(TaskId(1), NodeId(1), 5.0); // finishes last
-        b.place(TaskId(2), NodeId(2), 2.0);
-        assert_eq!(enabling_node(&b, TaskId(3)), NodeId(1));
+        let mut ctx = ctx_for(&inst);
+        ctx.place(TaskId(0), NodeId(2), 0.0);
+        ctx.place(TaskId(1), NodeId(1), 5.0); // finishes last
+        ctx.place(TaskId(2), NodeId(2), 2.0);
+        assert_eq!(enabling_node(&ctx, TaskId(3)), NodeId(1));
     }
 
     #[test]
     fn enabling_node_of_source_is_fastest() {
         let inst = fixtures::fig1();
-        let b = ScheduleBuilder::new(&inst);
-        assert_eq!(enabling_node(&b, TaskId(0)), NodeId(2));
+        let ctx = ctx_for(&inst);
+        assert_eq!(enabling_node(&ctx, TaskId(0)), NodeId(2));
     }
 
     #[test]

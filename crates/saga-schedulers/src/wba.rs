@@ -11,10 +11,10 @@
 //! The RNG is seeded (default 0xB1) so experiments are reproducible; PISA
 //! perturbs instances, not scheduler seeds.
 
-use crate::{util, Scheduler};
+use crate::KernelRun;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use saga_core::{Instance, Schedule, ScheduleBuilder};
+use saga_core::{Instance, SchedContext};
 
 /// The WBA scheduler.
 #[derive(Debug, Clone, Copy)]
@@ -29,25 +29,24 @@ impl Default for Wba {
     }
 }
 
-impl Scheduler for Wba {
-    fn name(&self) -> &'static str {
+impl KernelRun for Wba {
+    fn kernel_name(&self) -> &'static str {
         "WBA"
     }
 
-    fn schedule(&self, inst: &Instance) -> Schedule {
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        ctx.reset(inst);
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let n = inst.graph.task_count();
-        let mut b = ScheduleBuilder::new(inst);
+        let n = ctx.task_count();
         let mut options: Vec<(saga_core::TaskId, saga_core::NodeId, f64, f64)> = Vec::new();
-        while b.placed_count() < n {
-            let ready = util::ready_tasks(&b);
-            let current = b.current_makespan();
+        while ctx.placed_count() < n {
+            let current = ctx.current_makespan();
             options.clear();
             let mut i_min = f64::INFINITY;
             let mut i_max = f64::NEG_INFINITY;
-            for &t in &ready {
-                for v in inst.network.nodes() {
-                    let (s, f) = b.eft(t, v, false);
+            for &t in ctx.ready() {
+                for v in ctx.nodes() {
+                    let (s, f) = ctx.eft(t, v, false);
                     let increase = (f - current).max(0.0);
                     i_min = i_min.min(increase);
                     i_max = i_max.max(increase);
@@ -71,7 +70,11 @@ impl Scheduler for Wba {
                     let mut x = rng.gen::<f64>() * total;
                     let mut pick = options[options.len() - 1];
                     for &opt in &options {
-                        let w = if opt.3.is_finite() { i_max - opt.3 } else { 0.0 };
+                        let w = if opt.3.is_finite() {
+                            i_max - opt.3
+                        } else {
+                            0.0
+                        };
                         if x < w {
                             pick = opt;
                             break;
@@ -81,9 +84,8 @@ impl Scheduler for Wba {
                     pick
                 }
             };
-            b.place(chosen.0, chosen.1, chosen.2);
+            ctx.place(chosen.0, chosen.1, chosen.2);
         }
-        b.finish()
     }
 }
 
@@ -91,6 +93,7 @@ impl Scheduler for Wba {
 mod tests {
     use super::*;
     use crate::util::fixtures;
+    use crate::Scheduler;
 
     #[test]
     fn schedules_are_valid_on_smoke_instances() {

@@ -30,7 +30,9 @@ fn main() {
 
     // Schedule with HEFT and validate against the Section II constraints.
     let schedule = Heft.schedule(&instance);
-    schedule.verify(&instance).expect("HEFT produces valid schedules");
+    schedule
+        .verify(&instance)
+        .expect("HEFT produces valid schedules");
 
     println!("HEFT makespan: {:.3}", schedule.makespan());
     for t in instance.graph.tasks() {

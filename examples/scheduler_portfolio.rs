@@ -69,7 +69,11 @@ fn main() {
     println!("\nsingle-scheduler worst cases:");
     let worst_row = m.worst_row();
     for (name, w) in m.names.iter().zip(&worst_row) {
-        println!("  {:<12} {}", name, saga::pisa::PairwiseMatrix::format_cell(*w));
+        println!(
+            "  {:<12} {}",
+            name,
+            saga::pisa::PairwiseMatrix::format_cell(*w)
+        );
     }
     let (members, worst) = best.expect("at least one subset");
     println!(

@@ -19,9 +19,9 @@ fn stochastic_plans_execute_validly_on_all_app_schedulers() {
         for k in 0..5 {
             let reality = stoch.realize(&mut rng);
             let executed = simulate_fixed(&plan, &reality);
-            executed.verify(&reality).unwrap_or_else(|e| {
-                panic!("{} plan invalid under realization {k}: {e}", s.name())
-            });
+            executed
+                .verify(&reality)
+                .unwrap_or_else(|e| panic!("{} plan invalid under realization {k}: {e}", s.name()));
         }
     }
 }
@@ -78,7 +78,11 @@ fn metrics_are_consistent_across_schedulers() {
         let u = metrics::utilization(&inst, &sched);
         let thr = metrics::throughput(&inst, &sched);
         assert!(e > 0.0, "{} zero energy", s.name());
-        assert!((0.0..=1.0 + 1e-9).contains(&u), "{} utilization {u}", s.name());
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&u),
+            "{} utilization {u}",
+            s.name()
+        );
         assert!(thr > 0.0, "{} zero throughput", s.name());
         let price = vec![1.0; inst.network.node_count()];
         let cost = metrics::rental_cost(&inst, &sched, &price);
@@ -105,7 +109,10 @@ fn serial_schedule_minimizes_idle_energy_among_singletons() {
             a.finish - a.start
         })
         .sum();
-    assert!((busy - sched.makespan()).abs() < 1e-9, "gaps in serial schedule");
+    assert!(
+        (busy - sched.makespan()).abs() < 1e-9,
+        "gaps in serial schedule"
+    );
 }
 
 #[test]

@@ -1,0 +1,129 @@
+//! Golden-determinism suite: the scheduling kernel must be a pure
+//! performance refactor.
+//!
+//! `tests/golden_makespans.csv` records the bit pattern of every scheduler's
+//! makespan on a fixed battery of instances — the paper-figure smoke set
+//! plus 20 seeded random instances of varied shape — captured on the
+//! pre-kernel `ScheduleBuilder` implementation. Any change to scheduler
+//! decisions (tie-breaking, float evaluation order, ready-set ordering)
+//! flips bits here and fails the suite.
+//!
+//! Regenerate (only when a behavior change is *intended* and reviewed):
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_determinism -- --ignored
+//! ```
+
+use saga::core::Instance;
+use saga::schedulers::util::fixtures;
+use saga::schedulers::{self, Scheduler};
+
+/// The instance battery: `(label, instance, tiny)`; exact solvers run only
+/// on `tiny` instances.
+fn battery() -> Vec<(String, Instance, bool)> {
+    let mut v: Vec<(String, Instance, bool)> = Vec::new();
+    for (i, inst) in fixtures::smoke_instances().into_iter().enumerate() {
+        v.push((format!("smoke{i}"), inst, false));
+    }
+    // 20 seeded random instances spanning sizes 10..=50 tasks, 2..=5 nodes
+    let tasks = [10, 20, 30, 40, 50];
+    let nodes = [2, 3, 4, 5];
+    let p_edge = [0.1, 0.2, 0.3];
+    for k in 0..20usize {
+        let seed = 1000 + k as u64;
+        let t = tasks[k % tasks.len()];
+        let n = nodes[k % nodes.len()];
+        let p = p_edge[k % p_edge.len()];
+        v.push((
+            format!("rand_s{seed}_t{t}_n{n}"),
+            fixtures::random_instance(seed, t, n, p),
+            false,
+        ));
+    }
+    // tiny instances for the exponential reference solvers
+    for seed in 1..=4u64 {
+        v.push((
+            format!("tiny_s{seed}"),
+            fixtures::random_instance(seed, 5, 2, 0.4),
+            true,
+        ));
+    }
+    v
+}
+
+fn roster() -> Vec<Box<dyn Scheduler>> {
+    let mut all = schedulers::benchmark_schedulers();
+    all.extend(schedulers::historical_schedulers());
+    all
+}
+
+/// One `scheduler,instance,bits` line per measurement, in a fixed order.
+fn current_lines() -> Vec<String> {
+    let battery = battery();
+    let mut lines = Vec::new();
+    for s in roster() {
+        for (label, inst, _) in &battery {
+            let m = s.schedule(inst).makespan();
+            lines.push(format!("{},{},{:016x}", s.name(), label, m.to_bits()));
+        }
+    }
+    for s in schedulers::exact_schedulers() {
+        for (label, inst, tiny) in &battery {
+            if !tiny {
+                continue;
+            }
+            let m = s.schedule(inst).makespan();
+            lines.push(format!("{},{},{:016x}", s.name(), label, m.to_bits()));
+        }
+    }
+    lines
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_makespans.csv")
+}
+
+#[test]
+fn makespans_match_golden_bits() {
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("tests/golden_makespans.csv missing — run the regen command in this file's docs");
+    let golden: Vec<&str> = golden.lines().collect();
+    let current = current_lines();
+    assert_eq!(
+        golden.len(),
+        current.len(),
+        "golden file has {} entries, battery produces {}",
+        golden.len(),
+        current.len()
+    );
+    let mut mismatches = Vec::new();
+    for (g, c) in golden.iter().zip(&current) {
+        if g != c {
+            mismatches.push(format!("golden: {g}\n   now: {c}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} of {} makespans changed bit pattern:\n{}",
+        mismatches.len(),
+        current.len(),
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+#[ignore = "writes the golden fixture; run with GOLDEN_REGEN=1 when a behavior change is intended"]
+fn regenerate_golden() {
+    assert_eq!(
+        std::env::var("GOLDEN_REGEN").as_deref(),
+        Ok("1"),
+        "set GOLDEN_REGEN=1 to confirm overwriting the golden fixture"
+    );
+    let lines = current_lines();
+    std::fs::write(golden_path(), lines.join("\n") + "\n").expect("write golden fixture");
+    println!(
+        "wrote {} entries to {}",
+        lines.len(),
+        golden_path().display()
+    );
+}

@@ -18,10 +18,7 @@ fn scale_speeds(inst: &Instance, c: f64) -> Instance {
             links[u * n + v] = if l.is_finite() { l * c } else { f64::INFINITY };
         }
     }
-    Instance::new(
-        Network::from_matrix(speeds, links),
-        inst.graph.clone(),
-    )
+    Instance::new(Network::from_matrix(speeds, links), inst.graph.clone())
 }
 
 fn scale_costs(inst: &Instance, c: f64) -> Instance {
@@ -111,9 +108,9 @@ fn adding_an_implied_zero_edge_changes_nothing_feasible() {
         }
         for s in saga::schedulers::benchmark_schedulers() {
             let sched = s.schedule(&inst);
-            sched.verify(&inst).unwrap_or_else(|e| {
-                panic!("{} invalid after implied edge: {e}", s.name())
-            });
+            sched
+                .verify(&inst)
+                .unwrap_or_else(|e| panic!("{} invalid after implied edge: {e}", s.name()));
         }
     }
 }

@@ -15,13 +15,13 @@ use saga::schedulers::Scheduler;
 /// clipping floor) to exercise infinite-time paths.
 fn arb_instance() -> impl Strategy<Value = Instance> {
     (
-        2usize..=8,                         // tasks
-        1usize..=4,                         // nodes
-        proptest::collection::vec(0.0f64..=2.0, 8), // task costs (prefix used)
-        proptest::collection::vec(0.0f64..=2.0, 8 * 8), // dep costs
+        2usize..=8,                                      // tasks
+        1usize..=4,                                      // nodes
+        proptest::collection::vec(0.0f64..=2.0, 8),      // task costs (prefix used)
+        proptest::collection::vec(0.0f64..=2.0, 8 * 8),  // dep costs
         proptest::collection::vec(any::<bool>(), 8 * 8), // edge mask
-        proptest::collection::vec(0.0f64..=2.0, 4), // speeds
-        proptest::collection::vec(0.0f64..=2.0, 4 * 4), // links
+        proptest::collection::vec(0.0f64..=2.0, 4),      // speeds
+        proptest::collection::vec(0.0f64..=2.0, 4 * 4),  // links
     )
         .prop_map(|(nt, nv, costs, dep_costs, mask, speeds, links)| {
             let mut g = TaskGraph::new();
@@ -31,7 +31,8 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
             for i in 0..nt {
                 for j in (i + 1)..nt {
                     if mask[i * 8 + j] {
-                        g.add_dependency(ids[i], ids[j], dep_costs[i * 8 + j]).unwrap();
+                        g.add_dependency(ids[i], ids[j], dep_costs[i * 8 + j])
+                            .unwrap();
                     }
                 }
             }

@@ -9,9 +9,16 @@
 //! plots, or baselines; the point is that `cargo bench` compiles, runs
 //! fast, and prints comparable numbers.
 
+//!
+//! When the `BENCH_JSON` environment variable names a file, every measured
+//! benchmark also appends one JSON line `{"id": ..., "median_ns": ...}`
+//! there (created on first write), giving CI and the perf-trajectory
+//! tooling a machine-readable record of the run.
+
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -154,7 +161,8 @@ impl Bencher {
         let warm_start = Instant::now();
         black_box(f());
         let once = warm_start.elapsed().max(Duration::from_nanos(1));
-        let batch = (Duration::from_micros(100).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let batch =
+            (Duration::from_micros(100).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
 
         let deadline = Instant::now() + TIME_BUDGET;
         for _ in 0..self.target_samples {
@@ -178,7 +186,12 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, filter: &Option<String>, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    filter: &Option<String>,
+    mut f: F,
+) {
     if let Some(pat) = filter {
         if !id.contains(pat.as_str()) {
             return;
@@ -190,8 +203,40 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, filter: &Option
     };
     f(&mut b);
     match b.median() {
-        Some(t) => println!("bench: {id:<60} median {t:>12.2?}/iter"),
+        Some(t) => {
+            println!("bench: {id:<60} median {t:>12.2?}/iter");
+            record_json(id, t);
+        }
         None => println!("bench: {id:<60} (no samples)"),
+    }
+}
+
+/// Appends one JSON line for a measured benchmark to `$BENCH_JSON`, if set.
+fn record_json(id: &str, median: Duration) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\": \"{escaped}\", \"median_ns\": {}}}\n",
+        median.as_nanos()
+    );
+    let write = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = write {
+        eprintln!("warning: BENCH_JSON={path}: {e}");
     }
 }
 
@@ -237,7 +282,10 @@ mod tests {
 
     #[test]
     fn benchmark_id_renders_name_and_param() {
-        assert_eq!(BenchmarkId::new("HEFT", "chains_12").to_string(), "HEFT/chains_12");
+        assert_eq!(
+            BenchmarkId::new("HEFT", "chains_12").to_string(),
+            "HEFT/chains_12"
+        );
         assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
     }
 }

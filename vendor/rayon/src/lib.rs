@@ -1,13 +1,20 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, with real OS-thread parallelism.
 //!
-//! The build environment has no network access, so this crate maps rayon's
-//! parallel-iterator entry points onto ordinary sequential `std` iterators:
-//! `par_iter`, `par_iter_mut`, and `into_par_iter` return the matching
-//! sequential iterator, and every adaptor (`map`, `filter`, `collect`, …)
-//! is then just the `std::iter::Iterator` method of the same name. Results
-//! are identical to a rayon run — the workspace's parallel regions are
-//! pure fan-out/fan-in — only wall-clock parallelism is lost. Swapping the
-//! real rayon back in is a one-line manifest change.
+//! The build environment has no network access, so this crate implements the
+//! small slice of rayon's API the workspace uses — `par_iter`,
+//! `par_iter_mut`, `into_par_iter`, then `map`/`collect`, `for_each` and
+//! `sum` — on top of `std::thread::scope`. Work is split into one contiguous
+//! chunk per worker, each chunk is mapped on its own thread, and the chunk
+//! results are concatenated in input order, so `par_iter().map(f).collect()`
+//! returns exactly what the sequential pipeline would (rayon's ordering
+//! guarantee).
+//!
+//! Thread count: `RAYON_NUM_THREADS` if set (rayon's own env knob),
+//! otherwise `std::thread::available_parallelism()`. A count of 1 — or a
+//! single-item input — short-circuits to a plain sequential loop with no
+//! thread spawned. Worker panics propagate to the caller, as in rayon.
+//!
+//! Swapping the real rayon back in remains a one-line manifest change.
 
 #![warn(missing_docs)]
 
@@ -16,69 +23,194 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
-/// Owned conversion into a (sequential stand-in for a) parallel iterator.
-pub trait IntoParallelIterator {
-    /// The element type.
-    type Item;
-    /// The iterator type produced.
-    type Iter: Iterator<Item = Self::Item>;
-    /// `rayon::IntoParallelIterator::into_par_iter`, sequentially.
-    fn into_par_iter(self) -> Self::Iter;
+/// The number of worker threads to fan out across: `RAYON_NUM_THREADS` or
+/// the machine's available parallelism.
+fn num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
+/// Maps `items` through `f` on up to `threads` scoped OS threads, preserving
+/// input order in the output.
+fn parallel_map_with<T, R, F>(items: Vec<T>, f: &F, threads: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let threads = threads.min(len);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // one contiguous chunk per worker: order is restored by concatenating
+    // chunk outputs in chunk order
+    let chunk_len = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let mut out: Vec<R> = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// A (stand-in for a) parallel iterator over an eagerly gathered item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// `rayon`'s `map`: lazy, runs when the pipeline is consumed.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// `rayon`'s `for_each`, fanned out across threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map_with(self.items, &|x| f(x), num_threads());
+    }
+
+    /// `rayon`'s `sum` (commutative reductions need no ordering).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items behind the iterator.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The result of [`ParIter::map`]: consumed by [`ParMap::collect`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Executes the map across threads and collects in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map_with(self.items, &self.f, num_threads())
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Owned conversion into a (stand-in for a) parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// `rayon::IntoParallelIterator::into_par_iter`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
     type Item = I::Item;
-    type Iter = I::IntoIter;
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
 /// Borrowing conversion, `collection.par_iter()`.
 pub trait IntoParallelRefIterator<'data> {
     /// The element type (a reference).
-    type Item: 'data;
-    /// The iterator type produced.
-    type Iter: Iterator<Item = Self::Item>;
-    /// `rayon::IntoParallelRefIterator::par_iter`, sequentially.
-    fn par_iter(&'data self) -> Self::Iter;
+    type Item: Send + 'data;
+    /// `rayon::IntoParallelRefIterator::par_iter`.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
 }
 
 impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
 where
     &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: Send,
 {
     type Item = <&'data C as IntoIterator>::Item;
-    type Iter = <&'data C as IntoIterator>::IntoIter;
-    fn par_iter(&'data self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
 /// Mutably borrowing conversion, `collection.par_iter_mut()`.
 pub trait IntoParallelRefMutIterator<'data> {
     /// The element type (a mutable reference).
-    type Item: 'data;
-    /// The iterator type produced.
-    type Iter: Iterator<Item = Self::Item>;
-    /// `rayon::IntoParallelRefMutIterator::par_iter_mut`, sequentially.
-    fn par_iter_mut(&'data mut self) -> Self::Iter;
+    type Item: Send + 'data;
+    /// `rayon::IntoParallelRefMutIterator::par_iter_mut`.
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
 }
 
 impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
 where
     &'data mut C: IntoIterator,
+    <&'data mut C as IntoIterator>::Item: Send,
 {
     type Item = <&'data mut C as IntoIterator>::Item;
-    type Iter = <&'data mut C as IntoIterator>::IntoIter;
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread::ThreadId;
 
     #[test]
     fn par_iter_matches_iter() {
@@ -94,5 +226,95 @@ mod tests {
         let mut xs = vec![1, 2, 3];
         xs.par_iter_mut().for_each(|x| *x += 10);
         assert_eq!(xs, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        // per-item sleeps skewed so later chunks finish *before* earlier
+        // ones; order must still come out right
+        let xs: Vec<usize> = (0..64).collect();
+        let ys: Vec<usize> = xs
+            .par_iter()
+            .map(|&i| {
+                if i < 8 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                i * 3
+            })
+            .collect();
+        assert_eq!(ys, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    /// The workload the acceptance criterion names: `par_iter().map()`
+    /// `.collect()` must demonstrably run on multiple OS threads while
+    /// preserving order. Forced to 4 workers so the assertion holds on any
+    /// machine; the public path sizes itself from the environment.
+    #[test]
+    fn map_runs_on_multiple_os_threads_in_order() {
+        let xs: Vec<usize> = (0..128).collect();
+        let tagged: Vec<(usize, ThreadId)> = parallel_map_with(
+            xs,
+            &|i| {
+                // give every worker a moment to exist concurrently
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                (i, std::thread::current().id())
+            },
+            4,
+        );
+        let ids: HashSet<ThreadId> = tagged.iter().map(|&(_, id)| id).collect();
+        assert!(
+            ids.len() > 1,
+            "expected work on >1 distinct OS threads, saw {}",
+            ids.len()
+        );
+        let order: Vec<usize> = tagged.iter().map(|&(i, _)| i).collect();
+        assert_eq!(order, (0..128).collect::<Vec<_>>(), "ordering broken");
+    }
+
+    #[test]
+    fn public_path_uses_multiple_threads_on_multicore_hosts() {
+        // under a 4+-core environment (or RAYON_NUM_THREADS >= 4) the public
+        // entry point itself must fan out; on smaller hosts it legitimately
+        // runs sequentially and this test only checks correctness
+        let xs: Vec<usize> = (0..256).collect();
+        let ids: Vec<ThreadId> = xs
+            .par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                std::thread::current().id()
+            })
+            .collect();
+        let distinct: HashSet<ThreadId> = ids.iter().copied().collect();
+        if num_threads() >= 4 {
+            assert!(distinct.len() > 1, "multicore host but no fan-out");
+        } else {
+            assert!(!distinct.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<i32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let xs: Vec<usize> = (0..32).collect();
+            let _: Vec<usize> = parallel_map_with(
+                xs,
+                &|i| {
+                    if i == 17 {
+                        panic!("boom");
+                    }
+                    i
+                },
+                4,
+            );
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
     }
 }

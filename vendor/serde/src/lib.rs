@@ -75,7 +75,10 @@ impl Value {
 
     /// Looks a field up by name in an object.
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.as_object()?.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
     }
 }
 
@@ -151,7 +154,9 @@ pub struct Error {
 impl Error {
     /// Builds an error from any message.
     pub fn custom(msg: impl fmt::Display) -> Self {
-        Error { msg: msg.to_string() }
+        Error {
+            msg: msg.to_string(),
+        }
     }
 }
 
@@ -226,7 +231,9 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        v.as_str().map(str::to_string).ok_or_else(|| Error::custom("expected string"))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
     }
 }
 
@@ -363,7 +370,10 @@ mod tests {
     fn compact_display_matches_json() {
         let v = Value::Object(vec![
             ("a".into(), Value::Number(1.5)),
-            ("b".into(), Value::Array(vec![Value::Null, Value::Bool(true)])),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
             ("c".into(), Value::String("x\"y".into())),
         ]);
         assert_eq!(v.to_string(), r#"{"a":1.5,"b":[null,true],"c":"x\"y"}"#);
@@ -378,7 +388,10 @@ mod tests {
     #[test]
     fn option_round_trip() {
         assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
-        assert_eq!(Option::<f64>::from_value(&Value::Number(2.0)).unwrap(), Some(2.0));
+        assert_eq!(
+            Option::<f64>::from_value(&Value::Number(2.0)).unwrap(),
+            Some(2.0)
+        );
         assert_eq!(Some(2.0f64).to_value(), Value::Number(2.0));
         assert_eq!(Option::<f64>::None.to_value(), Value::Null);
     }
@@ -388,7 +401,10 @@ mod tests {
         assert!(u32::from_value(&Value::Number(-1.0)).is_err());
         assert!(u32::from_value(&Value::Number(4_294_967_296.0)).is_err());
         assert!(i32::from_value(&Value::Number(2_147_483_648.0)).is_err());
-        assert_eq!(u32::from_value(&Value::Number(4_294_967_295.0)).unwrap(), u32::MAX);
+        assert_eq!(
+            u32::from_value(&Value::Number(4_294_967_295.0)).unwrap(),
+            u32::MAX
+        );
     }
 
     #[test]

@@ -138,7 +138,7 @@ fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
                 return Err("unexpected parentheses after enum name".into());
             }
             Shape::TupleStruct {
-                arity: count_top_level(g.stream()) ,
+                arity: count_top_level(g.stream()),
             }
         }
         Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
@@ -175,7 +175,12 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
                 i += 1;
                 match &tokens.get(i) {
                     Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-                    _ => return Err(format!("expected `:` after field `{}`", fields.last().unwrap())),
+                    _ => {
+                        return Err(format!(
+                            "expected `:` after field `{}`",
+                            fields.last().unwrap()
+                        ))
+                    }
                 }
                 i = skip_type(&tokens, i);
             }
@@ -315,9 +320,9 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
 fn serialize_arm(name: &str, v: &Variant) -> String {
     let vname = &v.name;
     match &v.kind {
-        VariantKind::Unit => format!(
-            "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
-        ),
+        VariantKind::Unit => {
+            format!("{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n")
+        }
         VariantKind::Tuple(arity) => {
             let binders: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
             let inner = if *arity == 1 {
@@ -355,7 +360,9 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!("{f}: ::serde::Deserialize::from_value(::serde::__field(fields, {f:?})?)?")
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__field(fields, {f:?})?)?"
+                    )
                 })
                 .collect();
             format!(

@@ -67,10 +67,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(T::from_value(&v)?)
 }
@@ -234,10 +231,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -282,7 +276,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -310,7 +309,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(fields));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -324,7 +328,10 @@ mod tests {
     fn parse_round_trips_compact_output() {
         let v = Value::Object(vec![
             ("name".into(), Value::String("π ≈ 3".into())),
-            ("xs".into(), Value::Array(vec![Value::Number(1.0), Value::Number(-2.5e-3)])),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::Number(1.0), Value::Number(-2.5e-3)]),
+            ),
             ("none".into(), Value::Null),
             ("flag".into(), Value::Bool(false)),
         ]);
