@@ -1,0 +1,40 @@
+//! Frontier-sweep scheduler benchmarks: every scheduler whose inner loop is
+//! a ready-frontier sweep (MinMin, MaxMin, ETF from PR 2; ERT, GDL, WBA,
+//! FLB ported in PR 3) at 50, 100 and 250 tasks, with a reused context —
+//! the single-core latency these ports exist to improve. GDL was the
+//! slowest sweep before its port; watch that row.
+//!
+//! Set `BENCH_JSON=results/bench.json` to append machine-readable medians.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saga_core::SchedContext;
+use saga_schedulers::util::fixtures;
+use saga_schedulers::Scheduler;
+use std::hint::black_box;
+
+fn bench_sweeps(c: &mut Criterion) {
+    let sizes = [50usize, 100, 250];
+    let sweeps: [&dyn Scheduler; 7] = [
+        &saga_schedulers::MinMin,
+        &saga_schedulers::MaxMin,
+        &saga_schedulers::Etf,
+        &saga_schedulers::Ert,
+        &saga_schedulers::Gdl,
+        &saga_schedulers::Wba { seed: 0xB1 },
+        &saga_schedulers::Flb,
+    ];
+    let mut group = c.benchmark_group("sweeps");
+    for &tasks in &sizes {
+        let inst = fixtures::random_instance(42, tasks, 4, 0.15);
+        for s in sweeps {
+            let mut ctx = SchedContext::new();
+            group.bench_function(format!("{}_{}t", s.name().to_lowercase(), tasks), |b| {
+                b.iter(|| black_box(s.makespan_into(black_box(&inst), &mut ctx)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

@@ -9,6 +9,8 @@
 
 use rand::rngs::StdRng;
 use saga_core::Instance;
+use saga_experiments::benchmarking;
+use saga_experiments::engine::BatchEngine;
 use saga_pisa::{GeneralPerturber, Pisa, PisaConfig};
 use saga_schedulers::util::fixtures;
 use saga_schedulers::Scheduler;
@@ -49,6 +51,43 @@ fn sched_throughput_ms(s: &dyn Scheduler, inst: &Instance, reps: usize) -> f64 {
     }) / reps as f64
 }
 
+/// One fig2-class batch: every benchmark scheduler on `instances` fresh
+/// instances of all 16 datasets. Returns cells (= instances) per second.
+/// `threads = 0` runs the PR 2 sequential driver (fresh context per
+/// instance, tables rebuilt per scheduler); otherwise the batch engine
+/// under `RAYON_NUM_THREADS=threads`.
+fn fig2_batch_cells_per_s(
+    schedulers: &[Box<dyn Scheduler>],
+    instances: usize,
+    threads: usize,
+) -> f64 {
+    let generators = saga_datasets::all_generators();
+    let cells = (generators.len() * instances) as f64;
+    let seed = 0xF162;
+    let ms = if threads == 0 {
+        time_ms(|| {
+            for gen in &generators {
+                black_box(benchmarking::benchmark_dataset(
+                    schedulers, gen, instances, seed,
+                ));
+            }
+        })
+    } else {
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+        let engine = BatchEngine::new();
+        let ms = time_ms(|| {
+            for gen in &generators {
+                black_box(benchmarking::benchmark_dataset_engine(
+                    &engine, schedulers, gen, instances, seed, None,
+                ));
+            }
+        });
+        std::env::remove_var("RAYON_NUM_THREADS");
+        ms
+    };
+    cells / (ms / 1e3)
+}
+
 fn main() {
     let inst50 = fixtures::random_instance(42, 50, 4, 0.15);
     let mut out = Vec::new();
@@ -65,18 +104,39 @@ fn main() {
         pisa_cell_ms(&saga_schedulers::MinMin, &saga_schedulers::Etf),
     ));
     for s in saga_schedulers::benchmark_schedulers() {
-        if matches!(s.name(), "HEFT" | "CPoP" | "ETF" | "MinMin" | "GDL" | "BIL") {
-            let label: &'static str = match s.name() {
-                "HEFT" => "sched_heft_50t_ms",
-                "CPoP" => "sched_cpop_50t_ms",
-                "ETF" => "sched_etf_50t_ms",
-                "MinMin" => "sched_minmin_50t_ms",
-                "GDL" => "sched_gdl_50t_ms",
-                _ => "sched_bil_50t_ms",
-            };
-            out.push((label, sched_throughput_ms(&*s, &inst50, 50)));
-        }
+        let label: &'static str = match s.name() {
+            "HEFT" => "sched_heft_50t_ms",
+            "CPoP" => "sched_cpop_50t_ms",
+            "ETF" => "sched_etf_50t_ms",
+            "MinMin" => "sched_minmin_50t_ms",
+            "MaxMin" => "sched_maxmin_50t_ms",
+            "GDL" => "sched_gdl_50t_ms",
+            "BIL" => "sched_bil_50t_ms",
+            "WBA" => "sched_wba_50t_ms",
+            "FLB" => "sched_flb_50t_ms",
+            _ => continue,
+        };
+        out.push((label, sched_throughput_ms(&*s, &inst50, 50)));
     }
+    let ert = saga_schedulers::by_name("ERT").expect("ERT in roster");
+    out.push(("sched_ert_50t_ms", sched_throughput_ms(&*ert, &inst50, 50)));
+
+    // fig2-class batch throughput (cells = instances; each cell runs all 15
+    // schedulers): PR 2 sequential driver vs the batch engine at 1 and 4
+    // threads, equal budgets (25 instances/dataset — the old default)
+    let schedulers = saga_schedulers::benchmark_schedulers();
+    out.push((
+        "fig2_batch_seq_pr2_cells_per_s",
+        fig2_batch_cells_per_s(&schedulers, 25, 0),
+    ));
+    out.push((
+        "fig2_batch_engine_1t_cells_per_s",
+        fig2_batch_cells_per_s(&schedulers, 25, 1),
+    ));
+    out.push((
+        "fig2_batch_engine_4t_cells_per_s",
+        fig2_batch_cells_per_s(&schedulers, 25, 4),
+    ));
 
     let fields: Vec<String> = out
         .iter()

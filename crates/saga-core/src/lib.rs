@@ -22,6 +22,7 @@ mod instance;
 mod kernel;
 pub mod metrics;
 mod network;
+mod pool;
 pub mod ranking;
 mod schedule;
 pub mod stochastic;
@@ -33,4 +34,5 @@ pub use ids::{NodeId, TaskId};
 pub use instance::Instance;
 pub use kernel::SchedContext;
 pub use network::Network;
+pub use pool::{ContextPool, PooledContext};
 pub use schedule::{Assignment, Schedule, TIME_EPS};

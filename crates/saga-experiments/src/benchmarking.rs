@@ -1,7 +1,15 @@
 //! The traditional benchmarking methodology of Section V: run every
 //! scheduler on every instance of a dataset and report makespan ratios
 //! against the best baseline on each instance.
+//!
+//! Two drivers share the statistics code: [`benchmark_dataset`] walks the
+//! grid sequentially (the pre-engine reference path, kept for perf
+//! comparison and as the semantic baseline), and
+//! [`benchmark_dataset_engine`] shards the same instances across the
+//! [`BatchEngine`](crate::engine::BatchEngine) — same RNG stream, same
+//! per-instance evaluations, bit-identical `RatioStats` at any thread count.
 
+use crate::engine::{BatchEngine, Progress};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use saga_core::Instance;
@@ -25,11 +33,48 @@ pub struct RatioStats {
 /// makespan divided by the minimum makespan any scheduler achieved on that
 /// instance (the paper's benchmarking objective).
 pub fn instance_ratios(schedulers: &[Box<dyn Scheduler>], inst: &Instance) -> Vec<f64> {
-    let ms = crate::makespans(schedulers, inst);
-    let best = ms.iter().copied().fold(f64::INFINITY, f64::min);
-    ms.iter()
+    ratios_of(&crate::makespans(schedulers, inst))
+}
+
+/// Converts one instance's makespan row into ratios against the row's best.
+fn ratios_of(makespans: &[f64]) -> Vec<f64> {
+    let best = makespans.iter().copied().fold(f64::INFINITY, f64::min);
+    makespans
+        .iter()
         .map(|&m| saga_pisa::makespan_ratio(m, best))
         .collect()
+}
+
+/// Draws the same `count` instances [`benchmark_dataset`] would (one
+/// sequential RNG stream per dataset, so budgets line up exactly across the
+/// two drivers).
+pub fn dataset_instances(gen: &DatasetGenerator, count: usize, seed: u64) -> Vec<Instance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen.sample_many(&mut rng, count)
+}
+
+/// [`benchmark_dataset`] on the batch engine: generates the dataset's
+/// instances once (same stream as the sequential driver), shards them
+/// across workers with pinned cost tables, and reduces to the same
+/// [`RatioStats`]. Output is bit-identical to [`benchmark_dataset`] and
+/// independent of `RAYON_NUM_THREADS`.
+pub fn benchmark_dataset_engine(
+    engine: &BatchEngine,
+    schedulers: &[Box<dyn Scheduler>],
+    gen: &DatasetGenerator,
+    count: usize,
+    seed: u64,
+    progress: Option<&Progress>,
+) -> Vec<RatioStats> {
+    let instances = dataset_instances(gen, count, seed);
+    let rows = engine.makespans(schedulers, &instances, progress);
+    let mut per_sched: Vec<Vec<f64>> = vec![Vec::with_capacity(count); schedulers.len()];
+    for row in &rows {
+        for (k, r) in ratios_of(row).into_iter().enumerate() {
+            per_sched[k].push(r);
+        }
+    }
+    per_sched.into_iter().map(|rs| summarize(&rs)).collect()
 }
 
 /// Benchmarks `schedulers` on `count` fresh instances of `gen`, returning
@@ -97,6 +142,22 @@ mod tests {
         assert_eq!(s.unbounded, 1);
         assert_eq!(s.median, 3.0); // index 2 of sorted [1,2,3,inf]
         assert!((s.mean_finite - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engine_driver_matches_sequential_driver_bit_for_bit() {
+        let gen = saga_datasets::by_name("out_trees").unwrap();
+        let scheds = benchmark_schedulers();
+        let engine = crate::engine::BatchEngine::new();
+        let seq = benchmark_dataset(&scheds, &gen, 4, 99);
+        let par = benchmark_dataset_engine(&engine, &scheds, &gen, 4, 99, None);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.max.to_bits(), b.max.to_bits());
+            assert_eq!(a.median.to_bits(), b.median.to_bits());
+            assert_eq!(a.mean_finite.to_bits(), b.mean_finite.to_bits());
+            assert_eq!(a.unbounded, b.unbounded);
+        }
     }
 
     #[test]

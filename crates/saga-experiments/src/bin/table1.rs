@@ -1,12 +1,29 @@
 //! Regenerates Table I: the scheduler inventory, with the model each
 //! algorithm was designed for, its scheduling complexity, and any formal
 //! guarantee — straight from the implementations' module documentation.
+//!
+//! The complexity column is now *measured* too: the (scheduler) cells run
+//! through the batch engine's sequential path (`map_ctx_seq` — one warm
+//! pooled context, no fan-out, because concurrently timed cells would
+//! inflate each other's wall-clock on shared cores) against a fixed
+//! 50-task/4-node instance, so the printed µs put the asymptotic claims
+//! next to live numbers and do not vary with `RAYON_NUM_THREADS`. The
+//! exponential reference solvers are not timed (they would dominate the
+//! table's runtime), as in the paper's experiments.
+//!
+//! Usage: `table1 [--reps N]` (default 20 repetitions per scheduler).
+
+use saga_experiments::{cli, engine::BatchEngine};
+use saga_schedulers::util::fixtures;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let reps: usize = cli::arg_or(&args, "reps", 20);
+
     println!("Table I: Schedulers implemented in SAGA-rs\n");
     println!(
-        "{:<12} {:<38} {:<22} Design model / notes",
-        "Abbrev", "Algorithm", "Complexity"
+        "{:<12} {:<38} {:<22} {:>12}  Design model / notes",
+        "Abbrev", "Algorithm", "Complexity", "us/sched*"
     );
     let rows = [
         (
@@ -112,10 +129,34 @@ fn main() {
             "randomized min-increase placement",
         ),
     ];
-    for (abbrev, name, complexity, notes) in rows {
-        println!("{abbrev:<12} {name:<38} {complexity:<22} {notes}");
+
+    // one engine batch: cell = one scheduler timed `reps` times (sequential
+    // path — parallel timing would contend for cores and skew the numbers)
+    let inst = fixtures::random_instance(42, 50, 4, 0.15);
+    let engine = BatchEngine::new();
+    let cells: Vec<&str> = rows.iter().map(|&(abbrev, ..)| abbrev).collect();
+    let micros: Vec<Option<f64>> = engine.map_ctx_seq(cells, |ctx, abbrev| {
+        let sched = saga_schedulers::by_name(abbrev).expect("roster scheduler");
+        if matches!(abbrev, "BnB" | "BruteForce") {
+            return None; // exponential references: not timed
+        }
+        // warm-up run, then the timed repetitions
+        std::hint::black_box(sched.makespan_into(&inst, ctx));
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(sched.makespan_into(&inst, ctx));
+        }
+        Some(t.elapsed().as_secs_f64() * 1e6 / reps as f64)
+    });
+
+    for ((abbrev, name, complexity, notes), us) in rows.iter().zip(&micros) {
+        let measured = match us {
+            Some(us) => format!("{us:>12.1}"),
+            None => format!("{:>12}", "-"),
+        };
+        println!("{abbrev:<12} {name:<38} {complexity:<22} {measured}  {notes}");
     }
-    println!();
+    println!("\n* mean over {reps} runs on a fixed 50-task, 4-node instance");
     println!(
         "{} polynomial-time schedulers are benchmarked (Fig. 2) and compared\n\
          adversarially (Fig. 4); BruteForce and BnB are exponential references\n\

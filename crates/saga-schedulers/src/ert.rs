@@ -4,8 +4,14 @@
 //! ready task whose data becomes available earliest (its *ready* time, not
 //! its start or finish time), on the node where that earliest readiness is
 //! achieved; ties go to the node finishing the task sooner.
+//!
+//! Placement is append-only, so the sweep runs on
+//! [`util::FrontierSweep`]'s cached data-ready rows: each ready task's row
+//! is computed once when it enters the frontier instead of once per
+//! `(step, node)` query — bit-identical values, minus the
+//! O(ready × nodes × preds) rescans.
 
-use crate::KernelRun;
+use crate::{util, KernelRun};
 use saga_core::{Instance, SchedContext};
 
 /// The ERT scheduler.
@@ -20,24 +26,30 @@ impl KernelRun for Ert {
     fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
         ctx.reset(inst);
         let n = ctx.task_count();
+        let nv = ctx.node_count();
+        let mut sweep = util::FrontierSweep::new(ctx);
         while ctx.placed_count() < n {
             let mut chosen: Option<(saga_core::TaskId, saga_core::NodeId, f64, f64, f64)> = None;
             for &t in ctx.ready() {
-                for v in ctx.nodes() {
-                    let data_ready = ctx.data_ready_time(t, v);
-                    let (s, f) = ctx.eft(t, v, false);
+                let ready_row = sweep.row(nv, t);
+                for (v, &duration) in ctx.exec_row(t).iter().enumerate() {
+                    let data_ready = ready_row[v];
+                    let s = sweep.tail(v).max(data_ready);
+                    let f = s + duration;
                     let better = match chosen {
                         None => true,
                         Some((_, _, _, cr, cf)) => data_ready < cr || (data_ready == cr && f < cf),
                     };
                     if better {
-                        chosen = Some((t, v, s, data_ready, f));
+                        chosen = Some((t, saga_core::NodeId(v as u32), s, data_ready, f));
                     }
                 }
             }
             let (t, v, s, _, _) = chosen.expect("ready set cannot be empty in a DAG");
             ctx.place(t, v, s);
+            sweep.note_placed(ctx, t);
         }
+        sweep.release(ctx);
     }
 }
 

@@ -5,6 +5,12 @@
 //! considering the same two candidate nodes as FCP (first-idle node and
 //! enabling node). This greedy load-balancing is cheaper on wide graphs but
 //! ignores the critical path. Complexity `O(|T| log |V| + |D|)`.
+//!
+//! Placement is append-only, so candidates are evaluated on
+//! [`util::FrontierSweep`]'s cached data-ready rows, and the first-idle
+//! candidate — invariant across the ready tasks of one step — is computed
+//! once per step from the cached tails instead of once per ready task.
+//! Bit-identical decisions to the direct-query implementation.
 
 use crate::{util, KernelRun};
 use saga_core::{Instance, SchedContext};
@@ -21,13 +27,16 @@ impl KernelRun for Flb {
     fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
         ctx.reset(inst);
         let n = ctx.task_count();
+        let nv = ctx.node_count();
+        let mut sweep = util::FrontierSweep::new(ctx);
         while ctx.placed_count() < n {
+            let cand1 = sweep.first_idle();
             let mut chosen: Option<(saga_core::TaskId, saga_core::NodeId, f64, f64)> = None;
             for &t in ctx.ready() {
-                let cand1 = util::first_idle_node(ctx);
                 let cand2 = util::enabling_node(ctx, t);
                 for v in [cand1, cand2] {
-                    let (s, f) = ctx.eft(t, v, false);
+                    let s = sweep.start(nv, t, v.index());
+                    let f = s + ctx.exec_time(t, v);
                     let better = match chosen {
                         None => true,
                         Some((_, _, _, cf)) => f < cf,
@@ -39,7 +48,9 @@ impl KernelRun for Flb {
             }
             let (t, v, s, _) = chosen.expect("ready set cannot be empty in a DAG");
             ctx.place(t, v, s);
+            sweep.note_placed(ctx, t);
         }
+        sweep.release(ctx);
     }
 }
 

@@ -14,8 +14,14 @@
 //! and `Delta(t, v) = median_exec(t) - exec(t, v)` rewards placing `t` on a
 //! node that runs it faster than typical. Each step schedules the pair with
 //! the maximum dynamic level. Complexity `O(|V|^3 |T|)` per the paper.
+//!
+//! Placement is append-only (`start = max(DA, TF) >= TF`, the node's tail),
+//! so the sweep runs on [`util::FrontierSweep`]'s cached data-ready rows and
+//! tails: `DA` is read from the row computed once per frontier admission and
+//! `TF` is the cached tail — bit-identical values, minus the
+//! O(ready × nodes × preds) rescans that made GDL the slowest sweep.
 
-use crate::KernelRun;
+use crate::{util, KernelRun};
 use saga_core::{Instance, SchedContext};
 
 /// The GDL (DLS) scheduler.
@@ -60,27 +66,34 @@ impl KernelRun for Gdl {
             sl[t.index()] = med_exec[t.index()] + best;
         }
 
+        let nv = ctx.node_count();
+        let mut sweep = util::FrontierSweep::new(ctx);
         while ctx.placed_count() < n {
             let mut chosen: Option<(saga_core::TaskId, saga_core::NodeId, f64, f64)> = None;
             for &t in ctx.ready() {
-                for v in ctx.nodes() {
-                    let da = ctx.data_ready_time(t, v);
-                    let tf = ctx.earliest_start_append(v, 0.0);
+                let ready_row = sweep.row(nv, t);
+                let med = med_exec[t.index()];
+                let level = sl[t.index()];
+                for (v, &duration) in ctx.exec_row(t).iter().enumerate() {
+                    let da = ready_row[v];
+                    let tf = sweep.tail(v);
                     let start = da.max(tf);
-                    let delta = med_exec[t.index()] - ctx.exec_time(t, v);
-                    let dl = sl[t.index()] - start + delta;
+                    let delta = med - duration;
+                    let dl = level - start + delta;
                     let better = match chosen {
                         None => true,
                         Some((_, _, _, cdl)) => dl > cdl,
                     };
                     if better {
-                        chosen = Some((t, v, start, dl));
+                        chosen = Some((t, saga_core::NodeId(v as u32), start, dl));
                     }
                 }
             }
             let (t, v, start, _) = chosen.expect("ready set cannot be empty in a DAG");
             ctx.place(t, v, start);
+            sweep.note_placed(ctx, t);
         }
+        sweep.release(ctx);
         ctx.give_f64(med_exec);
         ctx.give_f64(xs);
         ctx.give_f64(sl);

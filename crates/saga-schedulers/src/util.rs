@@ -52,6 +52,38 @@ impl FrontierSweep {
         self.tails[v].max(self.drt[t.index() * nv + v])
     }
 
+    /// The cached data-ready row of a ready task — element `v` is identical
+    /// to `ctx.data_ready_time(t, NodeId(v))`.
+    #[inline]
+    pub fn row(&self, nv: usize, t: TaskId) -> &[f64] {
+        &self.drt[t.index() * nv..][..nv]
+    }
+
+    /// The current tail of node `v`'s timeline — identical to
+    /// `ctx.earliest_start_append(NodeId(v), 0.0)` under append-only
+    /// placement (finish times are never negative).
+    #[inline]
+    pub fn tail(&self, v: usize) -> f64 {
+        self.tails[v]
+    }
+
+    /// The node whose timeline frees up first, from the cached tails —
+    /// identical to [`first_idle_node`] under append-only placement (same
+    /// ascending-id scan, strict-less wins).
+    pub fn first_idle(&self) -> NodeId {
+        let mut best: Option<(NodeId, f64)> = None;
+        for (v, &t) in self.tails.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some((_, bt)) => t < bt,
+            };
+            if better {
+                best = Some((NodeId(v as u32), t));
+            }
+        }
+        best.map(|(v, _)| v).expect("network has at least one node")
+    }
+
     /// Records a placement made by the owning sweep: advances the node's
     /// tail (append-only, so the placed slot is the new tail) and fills the
     /// rows of successors that just became ready.

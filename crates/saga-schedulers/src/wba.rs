@@ -10,8 +10,14 @@
 //!
 //! The RNG is seeded (default 0xB1) so experiments are reproducible; PISA
 //! perturbs instances, not scheduler seeds.
+//!
+//! Placement is append-only, so every candidate `(start, finish)` comes from
+//! [`util::FrontierSweep`]'s cached data-ready rows, and the current
+//! makespan is a running max over placed finish times (same fold, same
+//! value) instead of an O(|T|) rescan per step — bit-identical decisions
+//! and RNG stream, minus the O(ready × nodes × preds) rescans.
 
-use crate::KernelRun;
+use crate::{util, KernelRun};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use saga_core::{Instance, SchedContext};
@@ -38,19 +44,24 @@ impl KernelRun for Wba {
         ctx.reset(inst);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let n = ctx.task_count();
+        let nv = ctx.node_count();
+        let mut sweep = util::FrontierSweep::new(ctx);
+        // running max over placed finishes == ctx.current_makespan()
+        let mut current = 0.0f64;
         let mut options: Vec<(saga_core::TaskId, saga_core::NodeId, f64, f64)> = Vec::new();
         while ctx.placed_count() < n {
-            let current = ctx.current_makespan();
             options.clear();
             let mut i_min = f64::INFINITY;
             let mut i_max = f64::NEG_INFINITY;
             for &t in ctx.ready() {
-                for v in ctx.nodes() {
-                    let (s, f) = ctx.eft(t, v, false);
+                let ready_row = sweep.row(nv, t);
+                for (v, &duration) in ctx.exec_row(t).iter().enumerate() {
+                    let s = sweep.tail(v).max(ready_row[v]);
+                    let f = s + duration;
                     let increase = (f - current).max(0.0);
                     i_min = i_min.min(increase);
                     i_max = i_max.max(increase);
-                    options.push((t, v, s, increase));
+                    options.push((t, saga_core::NodeId(v as u32), s, increase));
                 }
             }
             let chosen = if !i_min.is_finite() || !i_max.is_finite() || i_max == i_min {
@@ -85,7 +96,10 @@ impl KernelRun for Wba {
                 }
             };
             ctx.place(chosen.0, chosen.1, chosen.2);
+            sweep.note_placed(ctx, chosen.0);
+            current = current.max(ctx.finish_time(chosen.0));
         }
+        sweep.release(ctx);
     }
 }
 

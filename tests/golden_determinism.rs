@@ -57,6 +57,51 @@ fn roster() -> Vec<Box<dyn Scheduler>> {
     all
 }
 
+/// Larger instances (150–250 tasks) exercising the frontier-sweep ports of
+/// the PR 3 refactor: wide ready sets and deep predecessor fans are where
+/// cached data-ready rows could plausibly diverge from the direct queries.
+/// Recorded on the pre-port implementations of ERT/GDL/WBA/FLB (and the
+/// rest of the roster, for free).
+fn large_battery() -> Vec<(String, Instance)> {
+    let shapes = [
+        (150usize, 4usize, 0.05f64),
+        (150, 8, 0.10),
+        (200, 5, 0.03),
+        (200, 6, 0.08),
+        (250, 4, 0.02),
+        (250, 8, 0.05),
+    ];
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(k, &(t, n, p))| {
+            let seed = 7000 + k as u64;
+            (
+                format!("large_s{seed}_t{t}_n{n}"),
+                fixtures::random_instance(seed, t, n, p),
+            )
+        })
+        .collect()
+}
+
+/// One `scheduler,instance,bits` line per (roster scheduler, large
+/// instance), in a fixed order.
+fn current_large_lines() -> Vec<String> {
+    let battery = large_battery();
+    let mut lines = Vec::new();
+    for s in roster() {
+        for (label, inst) in &battery {
+            let m = s.schedule(inst).makespan();
+            lines.push(format!("{},{},{:016x}", s.name(), label, m.to_bits()));
+        }
+    }
+    lines
+}
+
+fn golden_large_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_makespans_large.csv")
+}
+
 /// One `scheduler,instance,bits` line per measurement, in a fixed order.
 fn current_lines() -> Vec<String> {
     let battery = battery();
@@ -108,6 +153,52 @@ fn makespans_match_golden_bits() {
         mismatches.len(),
         current.len(),
         mismatches.join("\n")
+    );
+}
+
+#[test]
+fn large_makespans_match_golden_bits() {
+    let golden = std::fs::read_to_string(golden_large_path()).expect(
+        "tests/golden_makespans_large.csv missing — run the regen command in this file's docs",
+    );
+    let golden: Vec<&str> = golden.lines().collect();
+    let current = current_large_lines();
+    assert_eq!(
+        golden.len(),
+        current.len(),
+        "large golden file has {} entries, battery produces {}",
+        golden.len(),
+        current.len()
+    );
+    let mut mismatches = Vec::new();
+    for (g, c) in golden.iter().zip(&current) {
+        if g != c {
+            mismatches.push(format!("golden: {g}\n   now: {c}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} of {} large-instance makespans changed bit pattern:\n{}",
+        mismatches.len(),
+        current.len(),
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+#[ignore = "writes the golden fixture; run with GOLDEN_REGEN=1 when a behavior change is intended"]
+fn regenerate_golden_large() {
+    assert_eq!(
+        std::env::var("GOLDEN_REGEN").as_deref(),
+        Ok("1"),
+        "set GOLDEN_REGEN=1 to confirm overwriting the large golden fixture"
+    );
+    let lines = current_large_lines();
+    std::fs::write(golden_large_path(), lines.join("\n") + "\n").expect("write golden fixture");
+    println!(
+        "wrote {} entries to {}",
+        lines.len(),
+        golden_large_path().display()
     );
 }
 

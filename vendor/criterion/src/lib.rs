@@ -230,6 +230,14 @@ fn record_json(id: &str, median: Duration) {
         "{{\"id\": \"{escaped}\", \"median_ns\": {}}}\n",
         median.as_nanos()
     );
+    // Bench executables run with CWD = the package root, not the workspace
+    // root; create missing parent directories so a relative path like
+    // `results/bench.json` works from either place.
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
     let write = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
