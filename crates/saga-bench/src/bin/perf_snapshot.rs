@@ -8,10 +8,11 @@
 //! ```
 
 use rand::rngs::StdRng;
-use saga_core::Instance;
+use saga_core::{Instance, SchedContext};
 use saga_experiments::benchmarking;
 use saga_experiments::engine::BatchEngine;
-use saga_pisa::{GeneralPerturber, Pisa, PisaConfig};
+use saga_pisa::annealer::AnnealScratch;
+use saga_pisa::{pairwise_cells, GeneralPerturber, Pisa, PisaConfig};
 use saga_schedulers::util::fixtures;
 use saga_schedulers::Scheduler;
 use std::hint::black_box;
@@ -88,6 +89,43 @@ fn fig2_batch_cells_per_s(
     cells / (ms / 1e3)
 }
 
+/// One full batch of quick fig4 cells (all ordered pairs of the 15-strong
+/// benchmark roster, `i_max 250`, 2 restarts — ~103k annealer iterations).
+/// Returns cells per second. `threads = 0` runs the cells sequentially the
+/// way the pre-refactor driver did — a fresh `SchedContext` and fresh
+/// scratch instances per cell; otherwise the engine's `run_cells` under
+/// `RAYON_NUM_THREADS=threads` (pooled warm context + scratch per worker).
+fn fig4_quick_cells_per_s(threads: usize) -> f64 {
+    let schedulers = saga_schedulers::benchmark_schedulers();
+    let cells = pairwise_cells(
+        &schedulers,
+        PisaConfig {
+            i_max: 250,
+            restarts: 2,
+            seed: 0xF164,
+            ..PisaConfig::default()
+        },
+    );
+    let ms = if threads == 0 {
+        time_ms(|| {
+            for cell in &cells {
+                let mut ctx = SchedContext::new();
+                let mut scratch = AnnealScratch::default();
+                black_box(cell.run(&mut ctx, &mut scratch).ratio);
+            }
+        })
+    } else {
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+        let engine = BatchEngine::new();
+        let ms = time_ms(|| {
+            black_box(engine.run_cells(&cells, None, None));
+        });
+        std::env::remove_var("RAYON_NUM_THREADS");
+        ms
+    };
+    cells.len() as f64 / (ms / 1e3)
+}
+
 fn main() {
     let inst50 = fixtures::random_instance(42, 50, 4, 0.15);
     let mut out = Vec::new();
@@ -136,6 +174,22 @@ fn main() {
     out.push((
         "fig2_batch_engine_4t_cells_per_s",
         fig2_batch_cells_per_s(&schedulers, 25, 4),
+    ));
+
+    // quick fig4 PISA-cell throughput: per-cell fresh-context sequential
+    // driver (the pre-refactor execution shape) vs the SearchCell engine at
+    // 1 and 4 threads
+    out.push((
+        "fig4_quick_cells_seq_driver_cells_per_s",
+        fig4_quick_cells_per_s(0),
+    ));
+    out.push((
+        "fig4_quick_cells_run_cells_1t_cells_per_s",
+        fig4_quick_cells_per_s(1),
+    ));
+    out.push((
+        "fig4_quick_cells_run_cells_4t_cells_per_s",
+        fig4_quick_cells_per_s(4),
     ));
 
     let fields: Vec<String> = out

@@ -217,10 +217,24 @@ impl TaskGraph {
 
     /// Removes the dependency `(from, to)`.
     pub fn remove_dependency(&mut self, from: TaskId, to: TaskId) -> Result<(), GraphError> {
+        self.remove_dependency_tracked(from, to).map(|_| ())
+    }
+
+    /// [`remove_dependency`](Self::remove_dependency), additionally
+    /// reporting `(cost, succ position, pred position)` of the removed edge
+    /// so [`restore_dependency_at`](Self::restore_dependency_at) can revert
+    /// the removal with the adjacency lists in their exact original order —
+    /// the undo operation in-place annealing loops rely on.
+    pub fn remove_dependency_tracked(
+        &mut self,
+        from: TaskId,
+        to: TaskId,
+    ) -> Result<(f64, usize, usize), GraphError> {
         let s = &mut self.succs[from.index()];
         let Some(si) = s.iter().position(|e| e.task == to) else {
             return Err(GraphError::NoSuchDependency { from, to });
         };
+        let cost = s[si].cost;
         s.swap_remove(si);
         let p = &mut self.preds[to.index()];
         let pi = p
@@ -229,7 +243,60 @@ impl TaskGraph {
             .expect("pred/succ lists out of sync");
         p.swap_remove(pi);
         self.edge_count -= 1;
-        Ok(())
+        Ok((cost, si, pi))
+    }
+
+    /// Reverts a [`remove_dependency_tracked`](Self::remove_dependency_tracked):
+    /// re-inserts the edge and swaps it back to its recorded positions, so
+    /// the adjacency lists are bitwise identical to before the removal
+    /// (`swap_remove` moved the last element into the hole; pushing and
+    /// swapping back inverts that exactly).
+    ///
+    /// # Panics
+    /// Panics if the recorded positions are out of range for the lists'
+    /// current lengths — i.e. if the graph was mutated since the removal.
+    pub fn restore_dependency_at(
+        &mut self,
+        from: TaskId,
+        to: TaskId,
+        cost: f64,
+        succ_pos: usize,
+        pred_pos: usize,
+    ) {
+        let s = &mut self.succs[from.index()];
+        s.push(DepEdge { task: to, cost });
+        let last = s.len() - 1;
+        s.swap(succ_pos, last);
+        let p = &mut self.preds[to.index()];
+        p.push(DepEdge { task: from, cost });
+        let last = p.len() - 1;
+        p.swap(pred_pos, last);
+        self.edge_count += 1;
+    }
+
+    /// Reverts the most recent [`add_dependency`](Self::add_dependency) of
+    /// `(from, to)`: the edge must still be the *last* entry of both
+    /// adjacency lists (nothing touched the graph since), so popping both
+    /// restores the exact prior state.
+    ///
+    /// # Panics
+    /// Panics if `(from, to)` is not the last edge of both lists.
+    pub fn pop_dependency(&mut self, from: TaskId, to: TaskId) {
+        let s = &mut self.succs[from.index()];
+        assert_eq!(
+            s.last().map(|e| e.task),
+            Some(to),
+            "pop_dependency: ({from}, {to}) is not the most recent succ edge"
+        );
+        s.pop();
+        let p = &mut self.preds[to.index()];
+        assert_eq!(
+            p.last().map(|e| e.task),
+            Some(from),
+            "pop_dependency: ({from}, {to}) is not the most recent pred edge"
+        );
+        p.pop();
+        self.edge_count -= 1;
     }
 
     /// Updates the data size of an existing dependency.
@@ -262,10 +329,28 @@ impl TaskGraph {
             .flat_map(|(i, es)| es.iter().map(move |e| (TaskId(i as u32), e.task, e.cost)))
     }
 
+    /// The `k`-th dependency in [`dependencies`](Self::dependencies) order,
+    /// without materializing the edge list (the perturbation operators draw
+    /// uniform edges tens of thousands of times per annealing cell).
+    pub fn nth_dependency(&self, k: usize) -> Option<(TaskId, TaskId, f64)> {
+        let mut remaining = k;
+        for (i, es) in self.succs.iter().enumerate() {
+            if remaining < es.len() {
+                let e = &es[remaining];
+                return Some((TaskId(i as u32), e.task, e.cost));
+            }
+            remaining -= es.len();
+        }
+        None
+    }
+
     /// Whether `from` can reach `to` along dependencies (used for cycle checks).
     pub fn reaches(&self, from: TaskId, to: TaskId) -> bool {
         if from == to {
             return true;
+        }
+        if self.task_count() <= 64 {
+            return self.reaches_small(from, to);
         }
         let mut seen = vec![false; self.task_count()];
         let mut stack = vec![from];
@@ -278,6 +363,30 @@ impl TaskGraph {
                 if !seen[e.task.index()] {
                     seen[e.task.index()] = true;
                     stack.push(e.task);
+                }
+            }
+        }
+        false
+    }
+
+    /// Allocation-free [`reaches`](Self::reaches) for graphs of at most 64
+    /// tasks: the seen set and the DFS frontier are both `u64` bitmasks.
+    /// (Adversarial-search instances have 3–5 tasks, and acyclicity checks
+    /// sit on the perturbation hot path.)
+    fn reaches_small(&self, from: TaskId, to: TaskId) -> bool {
+        let mut seen: u64 = 1 << from.index();
+        let mut frontier: u64 = seen;
+        while frontier != 0 {
+            let t = frontier.trailing_zeros() as usize;
+            frontier &= frontier - 1;
+            for e in &self.succs[t] {
+                if e.task == to {
+                    return true;
+                }
+                let bit = 1u64 << e.task.index();
+                if seen & bit == 0 {
+                    seen |= bit;
+                    frontier |= bit;
                 }
             }
         }

@@ -93,6 +93,18 @@ mod dto {
                     links.push(enc(inst.network.link(u, v)));
                 }
             }
+            // Canonical dep order: adjacency lists reflect mutation history
+            // (perturbation add/remove churn), and the parse side re-inserts
+            // in sorted order anyway. Sorting here makes serialization a
+            // stable function of the instance's *value*, so an instance and
+            // its JSON round-trip print identically (checkpoint replay and
+            // resumed runs must emit byte-identical witness files).
+            let mut deps: Vec<(u32, u32, f64)> = inst
+                .graph
+                .dependencies()
+                .map(|(a, b, c)| (a.0, b.0, c))
+                .collect();
+            deps.sort_unstable_by_key(|&(a, b, _)| (a, b));
             InstanceDto {
                 speeds: inst.network.speeds().to_vec(),
                 links,
@@ -101,11 +113,7 @@ mod dto {
                     .tasks()
                     .map(|t| (inst.graph.name(t).to_string(), inst.graph.cost(t)))
                     .collect(),
-                deps: inst
-                    .graph
-                    .dependencies()
-                    .map(|(a, b, c)| (a.0, b.0, c))
-                    .collect(),
+                deps,
             }
         }
     }

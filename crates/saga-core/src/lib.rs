@@ -25,6 +25,7 @@ mod network;
 mod pool;
 pub mod ranking;
 mod schedule;
+mod seed;
 pub mod stochastic;
 
 pub use builder::ScheduleBuilder;
@@ -36,3 +37,4 @@ pub use kernel::SchedContext;
 pub use network::Network;
 pub use pool::{ContextPool, PooledContext};
 pub use schedule::{Assignment, Schedule, TIME_EPS};
+pub use seed::derive_seed;

@@ -1,0 +1,34 @@
+//! Deterministic per-cell seed derivation for batch experiments.
+//!
+//! Every parallel experiment in the workspace shards a grid of independent
+//! cells across workers; each cell needs an RNG stream that (a) never
+//! overlaps a sibling's and (b) depends only on the cell's identity, not on
+//! how many cells ran before it on whichever worker claimed it. Deriving
+//! `seed_i = derive_seed(base, i)` satisfies both, which is what makes
+//! experiment output bit-identical for any `RAYON_NUM_THREADS`.
+
+/// Mixes a base seed with a cell index into an independent per-cell seed
+/// (splitmix64 finalizer), so parallel cells never share an RNG stream and
+/// cell `i`'s stream does not depend on how many cells ran before it.
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_decorrelates_neighbours() {
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        let c = derive_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // stable across calls (documented: cell streams are reproducible)
+        assert_eq!(a, derive_seed(42, 0));
+    }
+}

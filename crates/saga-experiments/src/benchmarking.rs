@@ -5,9 +5,11 @@
 //! Two drivers share the statistics code: [`benchmark_dataset`] walks the
 //! grid sequentially (the pre-engine reference path, kept for perf
 //! comparison and as the semantic baseline), and
-//! [`benchmark_dataset_engine`] shards the same instances across the
-//! [`BatchEngine`](crate::engine::BatchEngine) — same RNG stream, same
-//! per-instance evaluations, bit-identical `RatioStats` at any thread count.
+//! [`benchmark_dataset_engine`] shards the same cells across the
+//! [`BatchEngine`](crate::engine::BatchEngine) with generation fused into
+//! each cell — instance `k` always comes from the stream
+//! `derive_seed(seed, k)`, so both drivers sample identical instances and
+//! produce bit-identical `RatioStats` at any thread count.
 
 use crate::engine::{BatchEngine, Progress};
 use rand::rngs::StdRng;
@@ -37,7 +39,7 @@ pub fn instance_ratios(schedulers: &[Box<dyn Scheduler>], inst: &Instance) -> Ve
 }
 
 /// Converts one instance's makespan row into ratios against the row's best.
-fn ratios_of(makespans: &[f64]) -> Vec<f64> {
+pub fn ratios_of(makespans: &[f64]) -> Vec<f64> {
     let best = makespans.iter().copied().fold(f64::INFINITY, f64::min);
     makespans
         .iter()
@@ -45,17 +47,22 @@ fn ratios_of(makespans: &[f64]) -> Vec<f64> {
         .collect()
 }
 
-/// Draws the same `count` instances [`benchmark_dataset`] would (one
-/// sequential RNG stream per dataset, so budgets line up exactly across the
-/// two drivers).
+/// Draws the same `count` instances [`benchmark_dataset`] would: instance
+/// `k` comes from its own stream `derive_seed(seed, k)`, so the sequential
+/// reference path and the engine's sharded generation sample identical
+/// instances regardless of who generates them (and in what order).
 pub fn dataset_instances(gen: &DatasetGenerator, count: usize, seed: u64) -> Vec<Instance> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    gen.sample_many(&mut rng, count)
+    (0..count)
+        .map(|k| {
+            let mut rng = StdRng::seed_from_u64(crate::engine::derive_seed(seed, k as u64));
+            gen.sample(&mut rng)
+        })
+        .collect()
 }
 
-/// [`benchmark_dataset`] on the batch engine: generates the dataset's
-/// instances once (same stream as the sequential driver), shards them
-/// across workers with pinned cost tables, and reduces to the same
+/// [`benchmark_dataset`] on the batch engine: generation *and* evaluation
+/// fuse into per-instance cells ([`BatchEngine::dataset_makespans`]) that
+/// shard across workers with pinned cost tables, then reduce to the same
 /// [`RatioStats`]. Output is bit-identical to [`benchmark_dataset`] and
 /// independent of `RAYON_NUM_THREADS`.
 pub fn benchmark_dataset_engine(
@@ -66,8 +73,7 @@ pub fn benchmark_dataset_engine(
     seed: u64,
     progress: Option<&Progress>,
 ) -> Vec<RatioStats> {
-    let instances = dataset_instances(gen, count, seed);
-    let rows = engine.makespans(schedulers, &instances, progress);
+    let rows = engine.dataset_makespans(schedulers, gen, count, seed, progress);
     let mut per_sched: Vec<Vec<f64>> = vec![Vec::with_capacity(count); schedulers.len()];
     for row in &rows {
         for (k, r) in ratios_of(row).into_iter().enumerate() {
@@ -78,16 +84,18 @@ pub fn benchmark_dataset_engine(
 }
 
 /// Benchmarks `schedulers` on `count` fresh instances of `gen`, returning
-/// one [`RatioStats`] per scheduler (in scheduler order).
+/// one [`RatioStats`] per scheduler (in scheduler order). The fully
+/// sequential reference path: same per-instance seed derivation as the
+/// engine driver, one instance and one evaluation at a time.
 pub fn benchmark_dataset(
     schedulers: &[Box<dyn Scheduler>],
     gen: &DatasetGenerator,
     count: usize,
     seed: u64,
 ) -> Vec<RatioStats> {
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut per_sched: Vec<Vec<f64>> = vec![Vec::with_capacity(count); schedulers.len()];
-    for _ in 0..count {
+    for k in 0..count {
+        let mut rng = StdRng::seed_from_u64(crate::engine::derive_seed(seed, k as u64));
         let inst = gen.sample(&mut rng);
         for (k, r) in instance_ratios(schedulers, &inst).into_iter().enumerate() {
             per_sched[k].push(r);
@@ -157,6 +165,23 @@ mod tests {
             assert_eq!(a.median.to_bits(), b.median.to_bits());
             assert_eq!(a.mean_finite.to_bits(), b.mean_finite.to_bits());
             assert_eq!(a.unbounded, b.unbounded);
+        }
+    }
+
+    #[test]
+    fn fused_generation_matches_pregenerated_instances() {
+        // the engine's in-worker sampling must produce exactly the
+        // instances the reference generator yields for the same seeds
+        let gen = saga_datasets::by_name("montage").unwrap();
+        let scheds = benchmark_schedulers();
+        let engine = crate::engine::BatchEngine::new();
+        let fused = engine.dataset_makespans(&scheds, &gen, 5, 7, None);
+        let split = engine.makespans(&scheds, &dataset_instances(&gen, 5, 7), None);
+        for (a, b) in fused.iter().zip(&split) {
+            assert_eq!(
+                a.iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+            );
         }
     }
 

@@ -3,15 +3,22 @@
 //! scheduler pairs (a design-choice ablation flagged in DESIGN.md; the
 //! paper proposes exploring other meta-heuristics as future work).
 //!
-//! Usage: `ablation_search [--imax N] [--restarts R] [--seed S] [--trials K]`.
+//! Runs on the batch engine's `SearchCell` runtime: one `Ablation` cell per
+//! (pair, strategy, trial), sharded across workers with pooled contexts and
+//! per-cell derived seeds — bit-identical at any `RAYON_NUM_THREADS` —
+//! with a JSONL checkpoint (`--resume`).
+//!
+//! Usage: `ablation_search [--imax N] [--restarts R] [--seed S] [--trials K]
+//! [--resume]`.
 
+use saga_experiments::engine::{BatchEngine, CellCheckpoint, Progress};
 use saga_experiments::{cli, render, write_results_file};
-use saga_pisa::ablation::{search, Strategy};
-use saga_pisa::perturb::{initial_instance, GeneralPerturber};
-use saga_pisa::PisaConfig;
+use saga_pisa::ablation::Strategy;
+use saga_pisa::{PisaConfig, SearchCell};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let resume = args.iter().any(|a| a == "--resume");
     let config = PisaConfig {
         i_max: cli::arg_or(&args, "imax", 1000),
         restarts: cli::arg_or(&args, "restarts", 5),
@@ -33,33 +40,59 @@ fn main() {
          ({} restarts x {} iters, mean over {trials} seeds)\n",
         config.restarts, config.i_max
     );
+
+    // Cells in (pair, strategy, trial) nesting. Trials within one
+    // (pair, strategy) must compare across strategies at matched seeds, so
+    // the trial's config seed is shared per (pair, trial) and only the
+    // strategy varies — exactly the old driver's seed pairing, expressed as
+    // cells. The cell label carries the trial index (via the seed in the
+    // key), keeping checkpoint keys unique.
+    let mut cells = Vec::with_capacity(pairs.len() * Strategy::ALL.len() * trials);
+    for (pi, (a, b)) in pairs.iter().enumerate() {
+        for strategy in Strategy::ALL {
+            for k in 0..trials {
+                let cfg = PisaConfig {
+                    seed: saga_core::derive_seed(config.seed, (pi * trials + k) as u64),
+                    ..config
+                };
+                cells.push(SearchCell::ablation(strategy, a, b, cfg));
+            }
+        }
+    }
+    let checkpoint = CellCheckpoint::open(
+        std::path::Path::new("results/ablation_search_cells.jsonl"),
+        resume,
+    )
+    .expect("open checkpoint");
+    if resume && checkpoint.loaded() > 0 {
+        eprintln!(
+            "resuming: {} cells already in results/ablation_search_cells.jsonl",
+            checkpoint.loaded()
+        );
+    }
+    let engine = BatchEngine::new();
+    let progress = Progress::new("ablation_search", cells.len());
+    let results = engine.run_cells(&cells, Some(&progress), Some(&checkpoint));
+    let mut results = results.into_iter();
+
     let col_names: Vec<String> = Strategy::ALL.iter().map(|s| s.name().to_string()).collect();
     let mut row_names = Vec::new();
     let mut rows = Vec::new();
     let mut wins = vec![0usize; Strategy::ALL.len()];
     for (a, b) in pairs {
-        let target = saga_schedulers::by_name(a).unwrap();
-        let baseline = saga_schedulers::by_name(b).unwrap();
-        let perturber = GeneralPerturber::default();
         let mut means = Vec::new();
         let mut trial_best: Vec<Vec<f64>> = vec![Vec::new(); Strategy::ALL.len()];
-        for (si, strategy) in Strategy::ALL.into_iter().enumerate() {
+        for strategy_trials in trial_best.iter_mut() {
             let mut total = 0.0;
-            for k in 0..trials {
-                let cfg = PisaConfig {
-                    seed: config.seed.wrapping_add(1000 * k as u64),
-                    ..config
-                };
-                let res = search(&*target, &*baseline, &perturber, cfg, strategy, &|rng| {
-                    initial_instance(rng)
-                });
+            for _ in 0..trials {
+                let res = results.next().expect("one result per cell");
                 let r = if res.ratio.is_finite() {
                     res.ratio
                 } else {
                     1000.0
                 };
                 total += r;
-                trial_best[si].push(r);
+                strategy_trials.push(r);
             }
             means.push(total / trials as f64);
         }

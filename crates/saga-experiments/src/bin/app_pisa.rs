@@ -5,34 +5,84 @@
 //! over in-family instances) and the remaining rows are the worst-case
 //! ratios PISA found — the paper's exact figure layout.
 //!
+//! Runs on the batch engine's `SearchCell` runtime: one `App` cell per
+//! (CCR, ordered pair), sharded across workers with pooled contexts and
+//! per-cell derived seeds (bit-identical at any `RAYON_NUM_THREADS`), and a
+//! per-workflow JSONL checkpoint (`--resume`). The benchmarking rows run on
+//! the engine too: instances generate in parallel from per-instance derived
+//! seeds and all schedulers evaluate under pinned cost tables.
+//!
 //! Usage: `app_pisa [workflow|all] [--instances N] [--imax N] [--restarts R]
-//! [--ccr X] [--seed S]`. Default workflow: `srasearch`; defaults trade the
-//! paper's CPU-hours for minutes (see EXPERIMENTS.md).
+//! [--ccr X] [--seed S] [--resume]`. Default workflow: `srasearch`; defaults
+//! trade the paper's CPU-hours for minutes (see EXPERIMENTS.md).
 
-use rayon::prelude::*;
+use saga_experiments::engine::{derive_seed, BatchEngine, CellCheckpoint, Progress};
 use saga_experiments::{benchmarking, cli, render, write_results_file};
 use saga_pisa::annealer::PisaConfig;
 use saga_pisa::app_specific::AppSpecific;
+use saga_pisa::{cell_config, SearchCell};
 
-fn run_workflow(workflow: &str, ccrs: &[f64], instances: usize, config: PisaConfig) {
+#[allow(clippy::too_many_arguments)] // a binary's main-loop helper, not API
+fn run_workflow(
+    engine: &BatchEngine,
+    workflow: &str,
+    ccrs: &[f64],
+    instances: usize,
+    config: PisaConfig,
+    resume: bool,
+) {
     let schedulers = saga_schedulers::app_specific_schedulers();
     let names: Vec<String> = schedulers.iter().map(|s| s.name().to_string()).collect();
     let n = names.len();
 
+    // one cell grid over every (ccr, ordered pair), shared checkpoint
+    let mut cells = Vec::with_capacity(ccrs.len() * (n * n - n));
     for &ccr in ccrs {
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                cells.push(SearchCell::app(
+                    workflow,
+                    ccr,
+                    &names[j],
+                    &names[i],
+                    cell_config(config, cells.len() as u64),
+                ));
+            }
+        }
+    }
+    let ckpt_path = format!("results/app_pisa_{workflow}_cells.jsonl");
+    let checkpoint =
+        CellCheckpoint::open(std::path::Path::new(&ckpt_path), resume).expect("open checkpoint");
+    if resume && checkpoint.loaded() > 0 {
+        eprintln!(
+            "resuming: {} cells already in {ckpt_path}",
+            checkpoint.loaded()
+        );
+    }
+    let progress = Progress::new(format!("app_pisa/{workflow}"), cells.len());
+    let results = engine.run_cells(&cells, Some(&progress), Some(&checkpoint));
+    let mut results = results.into_iter();
+
+    for (ci, &ccr) in ccrs.iter().enumerate() {
         let app = AppSpecific::new(workflow, ccr).expect("known workflow");
 
         // --- benchmarking row (traditional approach) ---
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
-            config.seed.wrapping_add((ccr * 1000.0) as u64),
-        );
+        // per-instance derived seeds, generated in parallel, evaluated with
+        // pinned tables; order-preserving, so thread-count independent
+        let bench_seed = derive_seed(config.seed, 0xB000 + ci as u64);
+        let insts: Vec<saga_core::Instance> = engine.map((0..instances).collect(), |k| {
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(derive_seed(
+                bench_seed, k as u64,
+            ));
+            app.initial_instance(&mut rng)
+        });
+        let rows = engine.makespans(&schedulers, &insts, None);
         let mut per_sched: Vec<Vec<f64>> = vec![Vec::with_capacity(instances); n];
-        for _ in 0..instances {
-            let inst = app.initial_instance(&mut rng);
-            for (k, r) in benchmarking::instance_ratios(&schedulers, &inst)
-                .into_iter()
-                .enumerate()
-            {
+        for row in &rows {
+            for (k, r) in benchmarking::ratios_of(row).into_iter().enumerate() {
                 per_sched[k].push(r);
             }
         }
@@ -41,29 +91,15 @@ fn run_workflow(workflow: &str, ccrs: &[f64], instances: usize, config: PisaConf
             .map(|rs| benchmarking::summarize(rs).max)
             .collect();
 
-        // --- PISA matrix ---
-        let cells: Vec<(usize, usize)> = (0..n)
-            .flat_map(|i| (0..n).map(move |j| (i, j)))
-            .filter(|&(i, j)| i != j)
-            .collect();
-        let results: Vec<((usize, usize), f64)> = cells
-            .par_iter()
-            .map(|&(i, j)| {
-                let cfg = PisaConfig {
-                    seed: config
-                        .seed
-                        .wrapping_mul(0x9E3779B97F4A7C15)
-                        .wrapping_add((i * n + j) as u64)
-                        .wrapping_add((ccr * 7919.0) as u64),
-                    ..config
-                };
-                let res = app.run_pair(&*schedulers[j], &*schedulers[i], cfg);
-                ((i, j), res.ratio)
-            })
-            .collect();
+        // --- PISA matrix from this CCR's slice of the cell results ---
         let mut ratios = vec![vec![1.0f64; n]; n];
-        for ((i, j), r) in results {
-            ratios[i][j] = r;
+        for (i, row) in ratios.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate() {
+                if i == j {
+                    continue;
+                }
+                *slot = results.next().expect("one result per cell").ratio;
+            }
         }
 
         // assemble: baseline rows (reverse order like the paper), then the
@@ -114,6 +150,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let workflow = cli::positional(&args).unwrap_or("srasearch").to_string();
     let instances: usize = cli::arg_or(&args, "instances", 15);
+    let resume = args.iter().any(|a| a == "--resume");
     let config = PisaConfig {
         i_max: cli::arg_or(&args, "imax", 300),
         restarts: cli::arg_or(&args, "restarts", 2),
@@ -132,8 +169,9 @@ fn main() {
     } else {
         vec![workflow.as_str()]
     };
+    let engine = BatchEngine::new();
     for wf in workflows {
         println!("=== Section VII: application-specific PISA for {wf} ===\n");
-        run_workflow(wf, &ccrs, instances, config);
+        run_workflow(&engine, wf, &ccrs, instances, config, resume);
     }
 }

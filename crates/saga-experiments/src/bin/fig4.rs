@@ -6,25 +6,32 @@
 //! 2. for nearly every pair, each direction admits a >1 ratio (no scheduler
 //!    strictly dominates another).
 //!
-//! Usage: `fig4 [--imax N] [--restarts R] [--seed S]`. Defaults match the
-//! paper (`imax 1000`, `restarts 5`); the matrix is rayon-parallel.
+//! Runs on the batch engine's `SearchCell` runtime: the 210 ordered pairs
+//! shard across rayon workers with one warm pooled context and annealing
+//! scratch per worker, per-cell derived seeds (output is bit-identical for
+//! any `RAYON_NUM_THREADS`), and a JSONL checkpoint — every finished cell
+//! is flushed to `results/fig4_cells.jsonl`, and `--resume` replays stored
+//! cells so an interrupted paper-scale run continues where it stopped.
+//!
+//! Usage: `fig4 [--imax N] [--restarts R] [--seed S] [--quick] [--resume]`.
+//! Defaults match the paper (`imax 1000`, `restarts 5`); `--quick` is the
+//! CI smoke budget (`imax 60`, `restarts 1`).
 
+use saga_experiments::engine::{BatchEngine, CellCheckpoint, Progress};
 use saga_experiments::{cli, render, write_results_file};
-use saga_pisa::{pairwise_matrix, PisaConfig};
+use saga_pisa::{pairwise_cells, PairwiseMatrix, PisaConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let imax: usize = cli::arg_or(&args, "imax", 1000);
-    let restarts: usize = cli::arg_or(&args, "restarts", 5);
+    let quick = args.iter().any(|a| a == "--quick");
+    let imax: usize = cli::arg_or(&args, "imax", if quick { 60 } else { 1000 });
+    let restarts: usize = cli::arg_or(&args, "restarts", if quick { 1 } else { 5 });
     let seed: u64 = cli::arg_or(&args, "seed", 0xF164);
+    let resume = args.iter().any(|a| a == "--resume");
 
     let schedulers = saga_schedulers::benchmark_schedulers();
-    eprintln!(
-        "running PISA for {} ordered pairs ({restarts} restarts x {imax} iters)...",
-        schedulers.len() * (schedulers.len() - 1)
-    );
-    let t0 = std::time::Instant::now();
-    let m = pairwise_matrix(
+    let names: Vec<String> = schedulers.iter().map(|s| s.name().to_string()).collect();
+    let cells = pairwise_cells(
         &schedulers,
         PisaConfig {
             i_max: imax,
@@ -33,7 +40,24 @@ fn main() {
             ..PisaConfig::default()
         },
     );
+    eprintln!(
+        "running PISA for {} ordered pairs ({restarts} restarts x {imax} iters)...",
+        cells.len()
+    );
+    let checkpoint = CellCheckpoint::open(std::path::Path::new("results/fig4_cells.jsonl"), resume)
+        .expect("open checkpoint");
+    if resume && checkpoint.loaded() > 0 {
+        eprintln!(
+            "resuming: {} cells already in results/fig4_cells.jsonl",
+            checkpoint.loaded()
+        );
+    }
+    let engine = BatchEngine::new();
+    let progress = Progress::new("fig4", cells.len());
+    let t0 = std::time::Instant::now();
+    let results = engine.run_cells(&cells, Some(&progress), Some(&checkpoint));
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+    let m = PairwiseMatrix::from_cell_results(names, results);
 
     // assemble: "Worst" row on top, then baseline rows (paper order)
     let mut row_names = vec!["Worst".to_string()];

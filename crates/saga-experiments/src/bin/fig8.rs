@@ -2,11 +2,17 @@
 //! join messages, weak link between the two fastest nodes) on which CPoP
 //! performs poorly against HEFT.
 //!
+//! Runs on the batch engine: each instance is a cell with its own derived
+//! seed — generation and both scheduler runs (under one pinned table build)
+//! shard across workers, with order-preserving collection, so the CSV is
+//! bit-identical for any `RAYON_NUM_THREADS`.
+//!
 //! Usage: `fig8 [--instances N] [--seed S]`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use saga_datasets::families::cpop_weak_instance;
+use saga_experiments::engine::{derive_seed, BatchEngine, Progress};
 use saga_experiments::{cli, render, write_results_file};
 use saga_schedulers::{Cpop, Heft, Scheduler};
 
@@ -14,15 +20,23 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let instances: usize = cli::arg_or(&args, "instances", 1000);
     let seed: u64 = cli::arg_or(&args, "seed", 0xF168);
-    let mut rng = StdRng::seed_from_u64(seed);
 
-    let mut heft = Vec::with_capacity(instances);
-    let mut cpop = Vec::with_capacity(instances);
-    for _ in 0..instances {
+    let engine = BatchEngine::new();
+    let progress = Progress::new("fig8", instances);
+    let pairs: Vec<(f64, f64)> = engine.map_ctx((0..instances).collect(), |ctx, k| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, k as u64));
         let inst = cpop_weak_instance(&mut rng);
-        heft.push(Heft.schedule(&inst).makespan());
-        cpop.push(Cpop.schedule(&inst).makespan());
-    }
+        let row = ctx.with_pinned(&inst, |ctx| {
+            (
+                Heft.makespan_into(&inst, ctx),
+                Cpop.makespan_into(&inst, ctx),
+            )
+        });
+        progress.tick();
+        row
+    });
+    let heft: Vec<f64> = pairs.iter().map(|&(h, _)| h).collect();
+    let cpop: Vec<f64> = pairs.iter().map(|&(_, c)| c).collect();
     println!("Fig. 8: makespans on the CPoP-weak wide fork-join family ({instances} instances)\n");
     println!("{}", render::five_number_summary("CPoP", &cpop));
     println!("{}", render::five_number_summary("HEFT", &heft));

@@ -3,18 +3,27 @@
 //! Runs the generic annealer with each objective for a panel of scheduler
 //! pairs and prints the worst-case metric ratios side by side.
 //!
-//! Usage: `metric_pisa [--imax N] [--restarts R] [--seed S]`.
+//! Runs on the batch engine's `SearchCell` runtime: one `Metric` cell per
+//! (pair, objective), sharded across workers with pooled contexts and
+//! per-cell derived seeds — output is bit-identical for any
+//! `RAYON_NUM_THREADS` (CI diffs the CSV between 1- and 4-worker runs) —
+//! with a JSONL checkpoint (`--resume`).
+//!
+//! Usage: `metric_pisa [--imax N] [--restarts R] [--seed S] [--quick]
+//! [--resume]`. `--quick` is the CI smoke budget (`imax 60`, `restarts 1`).
 
+use saga_experiments::engine::{BatchEngine, CellCheckpoint, Progress};
 use saga_experiments::{cli, render, write_results_file};
-use saga_pisa::metric::{metric_search, Objective};
-use saga_pisa::perturb::{initial_instance, GeneralPerturber};
-use saga_pisa::PisaConfig;
+use saga_pisa::metric::Objective;
+use saga_pisa::{cell_config, PisaConfig, SearchCell};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let resume = args.iter().any(|a| a == "--resume");
     let config = PisaConfig {
-        i_max: cli::arg_or(&args, "imax", 400),
-        restarts: cli::arg_or(&args, "restarts", 3),
+        i_max: cli::arg_or(&args, "imax", if quick { 60 } else { 400 }),
+        restarts: cli::arg_or(&args, "restarts", if quick { 1 } else { 3 }),
         seed: cli::arg_or(&args, "seed", 0x3E71C),
         ..PisaConfig::default()
     };
@@ -34,27 +43,40 @@ fn main() {
         ("MinMin", "MaxMin"),
     ];
 
-    let col_names: Vec<String> = objectives.iter().map(|o| o.name().to_string()).collect();
-    let mut row_names = Vec::new();
-    let mut rows = Vec::new();
+    // cells in (pair-major, objective-minor) order so each output row is a
+    // contiguous slice of the results
+    let mut cells = Vec::with_capacity(pairs.len() * objectives.len());
     for (a, b) in pairs {
-        let target = saga_schedulers::by_name(a).unwrap();
-        let baseline = saga_schedulers::by_name(b).unwrap();
-        let perturber = GeneralPerturber::default();
-        let mut row = Vec::new();
-        for (oi, obj) in objectives.iter().enumerate() {
-            let cfg = PisaConfig {
-                seed: config.seed.wrapping_add(oi as u64 * 7919),
-                ..config
-            };
-            let res = metric_search(*obj, &*target, &*baseline, &perturber, cfg, &|rng| {
-                initial_instance(rng)
-            });
-            row.push(res.ratio);
+        for obj in objectives {
+            cells.push(SearchCell::metric(
+                obj,
+                a,
+                b,
+                cell_config(config, cells.len() as u64),
+            ));
         }
-        row_names.push(format!("{a} vs {b}"));
-        rows.push(row);
     }
+    let checkpoint = CellCheckpoint::open(
+        std::path::Path::new("results/metric_pisa_cells.jsonl"),
+        resume,
+    )
+    .expect("open checkpoint");
+    if resume && checkpoint.loaded() > 0 {
+        eprintln!(
+            "resuming: {} cells already in results/metric_pisa_cells.jsonl",
+            checkpoint.loaded()
+        );
+    }
+    let engine = BatchEngine::new();
+    let progress = Progress::new("metric_pisa", cells.len());
+    let results = engine.run_cells(&cells, Some(&progress), Some(&checkpoint));
+
+    let col_names: Vec<String> = objectives.iter().map(|o| o.name().to_string()).collect();
+    let row_names: Vec<String> = pairs.iter().map(|(a, b)| format!("{a} vs {b}")).collect();
+    let rows: Vec<Vec<f64>> = results
+        .chunks(objectives.len())
+        .map(|chunk| chunk.iter().map(|r| r.ratio).collect())
+        .collect();
     println!(
         "{}",
         render::matrix(

@@ -27,18 +27,16 @@
 
 use rayon::prelude::*;
 use saga_core::{ContextPool, Instance, SchedContext};
+use saga_pisa::annealer::AnnealScratch;
+use saga_pisa::{PisaResult, SearchCell};
 use saga_schedulers::Scheduler;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Mixes a base seed with a cell index into an independent per-cell seed
-/// (splitmix64 finalizer), so parallel cells never share an RNG stream and
-/// cell `i`'s stream does not depend on how many cells ran before it.
-pub fn derive_seed(seed: u64, index: u64) -> u64 {
-    let mut z = seed ^ index.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
+pub use saga_core::derive_seed;
 
 /// A coherent, concurrency-safe progress reporter for batch runs.
 ///
@@ -132,6 +130,93 @@ impl BatchEngine {
         cells.into_iter().map(|cell| f(&mut ctx, cell)).collect()
     }
 
+    /// Runs a grid of adversarial-search cells — the fig4-class workload.
+    /// Cells shard across workers via `map_init`; each worker holds one warm
+    /// [`PooledContext`](saga_core::PooledContext) and one
+    /// [`AnnealScratch`] for its whole run, so back-to-back cells (and every
+    /// restart within a cell) reuse the same buffers. Results come back in
+    /// cell order regardless of thread count, and each cell's RNG streams
+    /// are baked into the cell itself, so output is bit-identical for any
+    /// `RAYON_NUM_THREADS`.
+    ///
+    /// With a [`CellCheckpoint`], finished cells are appended to a JSONL
+    /// file as they complete and cells already present (matched by
+    /// [`SearchCell::key`]) are replayed instead of re-run — a multi-hour
+    /// paper-scale fig4 run survives interruption.
+    pub fn run_cells(
+        &self,
+        cells: &[SearchCell],
+        progress: Option<&Progress>,
+        checkpoint: Option<&CellCheckpoint>,
+    ) -> Vec<PisaResult> {
+        cells
+            .par_iter()
+            .map_init(
+                || (self.pool.take(), AnnealScratch::default()),
+                |(ctx, scratch), cell| {
+                    let key = cell.key();
+                    let res = match checkpoint.and_then(|c| c.stored(&key)) {
+                        Some(stored) => stored,
+                        None => {
+                            let res = cell.run(ctx, scratch);
+                            if let Some(c) = checkpoint {
+                                c.record(&key, &res);
+                            }
+                            res
+                        }
+                    };
+                    if let Some(p) = progress {
+                        p.tick();
+                    }
+                    res
+                },
+            )
+            .collect()
+    }
+
+    /// The fused fig2-class dataset loop: cell `k` *generates* instance `k`
+    /// from its own derived seed (`derive_seed(seed, k)`) and immediately
+    /// evaluates every scheduler on it under pinned cost tables, all inside
+    /// the worker — so dataset sampling shards across cores along with the
+    /// evaluation instead of bottlenecking on one sequential generation
+    /// pass (the old layout's limit at 1000-instance budgets). Returns
+    /// `out[instance][scheduler]` makespans in instance order; per-cell
+    /// seeds and order-preserving collection keep the output bit-identical
+    /// for any `RAYON_NUM_THREADS`, and identical to generating the
+    /// instances up front with the same per-instance seeds.
+    pub fn dataset_makespans(
+        &self,
+        schedulers: &[Box<dyn Scheduler>],
+        gen: &saga_datasets::DatasetGenerator,
+        count: usize,
+        seed: u64,
+        progress: Option<&Progress>,
+    ) -> Vec<Vec<f64>> {
+        (0..count)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map_init(
+                || self.pool.take(),
+                |ctx, k| {
+                    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                        derive_seed(seed, k as u64),
+                    );
+                    let inst = gen.sample(&mut rng);
+                    let row = ctx.with_pinned(&inst, |ctx| {
+                        schedulers
+                            .iter()
+                            .map(|s| s.makespan_into(&inst, ctx))
+                            .collect::<Vec<f64>>()
+                    });
+                    if let Some(p) = progress {
+                        p.tick();
+                    }
+                    row
+                },
+            )
+            .collect()
+    }
+
     /// Runs every scheduler on every instance — the fig2-class inner loop.
     /// Returns `out[instance][scheduler]` makespans. Per instance, the cost
     /// tables are built once and shared across all scheduler runs
@@ -160,6 +245,136 @@ impl BatchEngine {
                 },
             )
             .collect()
+    }
+}
+
+/// One completed cell, as persisted in the checkpoint JSONL. The ratio and
+/// initial-ratio fields are stored as `f64::to_bits` hex strings — the
+/// checkpoint must replay *bit-identical* results, and JSON float printing
+/// wouldn't round-trip exactly (nor encode the unbounded cells' infinities).
+/// `ratio` repeats the value as a plain float purely for human readers;
+/// `None` encodes an unbounded cell, mirroring the witness-library format.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CellRecord {
+    key: String,
+    ratio_bits: String,
+    initial_bits: String,
+    evaluations: usize,
+    ratio: Option<f64>,
+    instance: serde_json::Value,
+}
+
+impl CellRecord {
+    fn new(key: &str, res: &PisaResult) -> Self {
+        CellRecord {
+            key: key.to_string(),
+            ratio_bits: format!("{:016x}", res.ratio.to_bits()),
+            initial_bits: format!("{:016x}", res.initial_ratio.to_bits()),
+            evaluations: res.evaluations,
+            ratio: res.ratio.is_finite().then_some(res.ratio),
+            instance: serde_json::from_str(&res.instance.to_json())
+                .expect("instance JSON is valid"),
+        }
+    }
+
+    fn result(&self) -> Option<PisaResult> {
+        let bits = |s: &str| u64::from_str_radix(s, 16).ok().map(f64::from_bits);
+        Some(PisaResult {
+            instance: Instance::from_json(&self.instance.to_string()).ok()?,
+            ratio: bits(&self.ratio_bits)?,
+            initial_ratio: bits(&self.initial_bits)?,
+            evaluations: self.evaluations,
+        })
+    }
+}
+
+/// A JSONL checkpoint for [`BatchEngine::run_cells`]: every finished cell is
+/// appended (and flushed) as it completes, and a resumed run replays stored
+/// cells instead of re-running them. Cells are matched by
+/// [`SearchCell::key`], which encodes the budget and seed — changing
+/// `--imax`/`--restarts`/`--seed` makes old lines unmatchable rather than
+/// silently wrong. Malformed lines (e.g. a half-written line from a crash)
+/// are skipped with a warning, so a torn checkpoint only costs re-running
+/// the affected cell.
+pub struct CellCheckpoint {
+    done: HashMap<String, PisaResult>,
+    file: Mutex<std::fs::File>,
+}
+
+impl CellCheckpoint {
+    /// Opens `path` for checkpointing. With `resume`, existing well-formed
+    /// lines are loaded for replay and new cells append after them;
+    /// otherwise the file is truncated and the run starts clean.
+    pub fn open(path: &std::path::Path, resume: bool) -> std::io::Result<Self> {
+        let mut done = HashMap::new();
+        let mut unterminated = false;
+        if resume {
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    unterminated = !text.is_empty() && !text.ends_with('\n');
+                    for (lineno, line) in text.lines().enumerate() {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        let parsed = serde_json::from_str::<CellRecord>(line)
+                            .ok()
+                            .and_then(|r| Some((r.key.clone(), r.result()?)));
+                        match parsed {
+                            Some((key, res)) => {
+                                done.insert(key, res);
+                            }
+                            None => eprintln!(
+                                "[checkpoint] skipping malformed line {} of {}",
+                                lineno + 1,
+                                path.display()
+                            ),
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(resume)
+            .truncate(!resume)
+            .write(true)
+            .open(path)?;
+        if unterminated {
+            // a crash mid-append left a torn final line (already skipped
+            // above); terminate it so the next record starts on its own
+            // line instead of merging into — and corrupting — the tear
+            writeln!(file)?;
+        }
+        Ok(CellCheckpoint {
+            done,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Number of cells loaded from the file for replay.
+    pub fn loaded(&self) -> usize {
+        self.done.len()
+    }
+
+    /// The stored result for `key`, if the checkpoint has it.
+    pub fn stored(&self, key: &str) -> Option<PisaResult> {
+        self.done.get(key).cloned()
+    }
+
+    /// Appends one finished cell and flushes, so an interruption loses at
+    /// most the cells in flight.
+    pub fn record(&self, key: &str, res: &PisaResult) {
+        let line = serde_json::to_string(&CellRecord::new(key, res)).expect("record serializes");
+        let mut file = self.file.lock().expect("checkpoint file poisoned");
+        writeln!(file, "{line}").expect("write checkpoint line");
+        file.flush().expect("flush checkpoint");
     }
 }
 
@@ -243,15 +458,107 @@ mod tests {
         );
     }
 
+    fn quick_cells() -> Vec<SearchCell> {
+        use saga_pisa::metric::Objective;
+        use saga_pisa::{cell_config, PisaConfig};
+        let base = PisaConfig {
+            i_max: 60,
+            restarts: 2,
+            seed: 0xCE11,
+            ..PisaConfig::default()
+        };
+        vec![
+            SearchCell::pair("HEFT", "CPoP", cell_config(base, 0)),
+            SearchCell::pair("CPoP", "FastestNode", cell_config(base, 1)),
+            SearchCell::metric(
+                Objective::RentalCost,
+                "HEFT",
+                "FastestNode",
+                cell_config(base, 2),
+            ),
+            SearchCell::app("blast", 0.5, "CPoP", "FastestNode", cell_config(base, 3)),
+        ]
+    }
+
     #[test]
-    fn derive_seed_decorrelates_neighbours() {
-        let a = derive_seed(42, 0);
-        let b = derive_seed(42, 1);
-        let c = derive_seed(43, 0);
-        assert_ne!(a, b);
-        assert_ne!(a, c);
-        // stable across calls (documented: cell streams are reproducible)
-        assert_eq!(a, derive_seed(42, 0));
+    fn run_cells_matches_the_pooled_runner_bit_for_bit() {
+        let cells = quick_cells();
+        let engine = BatchEngine::new();
+        let a = engine.run_cells(&cells, None, None);
+        let b = saga_pisa::run_cells_pooled(&cells);
+        for ((cell, x), y) in cells.iter().zip(&a).zip(&b) {
+            assert_eq!(x.ratio.to_bits(), y.ratio.to_bits(), "{}", cell.label);
+            assert_eq!(x.instance.to_json(), y.instance.to_json(), "{}", cell.label);
+        }
+    }
+
+    #[test]
+    fn checkpoint_replays_stored_cells_exactly() {
+        let cells = quick_cells();
+        let engine = BatchEngine::new();
+        let path = std::env::temp_dir().join(format!(
+            "saga_ckpt_test_{}_replay.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let ck = CellCheckpoint::open(&path, false).unwrap();
+        let fresh = engine.run_cells(&cells, None, Some(&ck));
+        drop(ck);
+        let ck = CellCheckpoint::open(&path, true).unwrap();
+        assert_eq!(ck.loaded(), cells.len());
+        let replayed = engine.run_cells(&cells, None, Some(&ck));
+        for ((cell, a), b) in cells.iter().zip(&fresh).zip(&replayed) {
+            assert_eq!(a.ratio.to_bits(), b.ratio.to_bits(), "{}", cell.label);
+            assert_eq!(
+                a.initial_ratio.to_bits(),
+                b.initial_ratio.to_bits(),
+                "{}",
+                cell.label
+            );
+            assert_eq!(a.evaluations, b.evaluations, "{}", cell.label);
+            assert_eq!(a.instance.to_json(), b.instance.to_json(), "{}", cell.label);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_skips_torn_lines_and_stale_keys() {
+        let cells = quick_cells();
+        let engine = BatchEngine::new();
+        let path =
+            std::env::temp_dir().join(format!("saga_ckpt_test_{}_torn.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let ck = CellCheckpoint::open(&path, false).unwrap();
+        engine.run_cells(&cells[..2], None, Some(&ck));
+        drop(ck);
+        // simulate a crash mid-append
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"key\":\"pair/HEFT~CPoP#trunc").unwrap();
+        }
+        let ck = CellCheckpoint::open(&path, true).unwrap();
+        assert_eq!(ck.loaded(), 2, "torn line must be dropped, good ones kept");
+        // a different budget produces different keys: nothing replays
+        let mut other = quick_cells();
+        for c in &mut other {
+            c.config.i_max += 1;
+        }
+        assert!(ck.stored(&other[0].key()).is_none());
+        // appending after the tear must start a fresh line — the remaining
+        // cells recorded now have to survive another resume intact
+        engine.run_cells(&cells, None, Some(&ck));
+        drop(ck);
+        let ck = CellCheckpoint::open(&path, true).unwrap();
+        assert_eq!(
+            ck.loaded(),
+            cells.len(),
+            "records appended after a torn line must not merge into it"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

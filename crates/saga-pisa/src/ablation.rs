@@ -10,10 +10,10 @@
 //! * [`Strategy::RandomWalk`] — accept every perturbation (best-so-far is
 //!   still tracked, so this is random search through instance space).
 
-use crate::annealer::{Pisa, PisaConfig, PisaResult};
+use crate::annealer::{AnnealScratch, Pisa, PisaConfig, PisaResult};
 use crate::perturb::Perturber;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use saga_core::Instance;
 use saga_schedulers::Scheduler;
 
@@ -56,6 +56,34 @@ pub fn search(
     strategy: Strategy,
     init: &dyn Fn(&mut StdRng) -> Instance,
 ) -> PisaResult {
+    let mut ctx = saga_core::SchedContext::new();
+    let mut scratch = AnnealScratch::default();
+    search_in(
+        target,
+        baseline,
+        perturber,
+        config,
+        strategy,
+        init,
+        &mut ctx,
+        &mut scratch,
+    )
+}
+
+/// [`search`] borrowing the scheduling context and scratch instances from
+/// the caller — the batch-runner entry point (one warm context per worker,
+/// reused across every cell and restart).
+#[allow(clippy::too_many_arguments)] // mirrors `search` plus the two borrows
+pub fn search_in(
+    target: &dyn Scheduler,
+    baseline: &dyn Scheduler,
+    perturber: &dyn Perturber,
+    config: PisaConfig,
+    strategy: Strategy,
+    init: &dyn Fn(&mut StdRng) -> Instance,
+    ctx: &mut saga_core::SchedContext,
+    scratch: &mut AnnealScratch,
+) -> PisaResult {
     let pisa = Pisa {
         target,
         baseline,
@@ -63,62 +91,74 @@ pub fn search(
         config,
     };
     if strategy == Strategy::Annealing {
-        return pisa.run(init);
+        return pisa.run_in(ctx, scratch, init);
     }
-    let mut best: Option<PisaResult> = None;
-    for k in 0..config.restarts {
-        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(k as u64));
-        let start = init(&mut rng);
-        let res = run_flat(&pisa, start, &mut rng, strategy);
-        let better = match &best {
-            None => true,
-            Some(b) => res.ratio > b.ratio,
-        };
-        if better {
-            best = Some(res);
-        }
-    }
-    best.expect("restarts >= 1")
+    crate::annealer::best_over_restarts(config, init, scratch, |start, rng, scratch| {
+        run_flat(&pisa, start, rng, strategy, ctx, scratch)
+    })
 }
 
 /// Temperature-free search loop, budget-matched to the annealing run (which
 /// stops when `T` crosses `T_min` or at `I_max`, whichever comes first).
-fn run_flat(pisa: &Pisa<'_>, start: Instance, rng: &mut StdRng, strategy: Strategy) -> PisaResult {
+/// Returns `(best ratio, initial ratio, evaluations)`; the best instance is
+/// left in `scratch.best`.
+fn run_flat(
+    pisa: &Pisa<'_>,
+    start: &Instance,
+    rng: &mut StdRng,
+    strategy: Strategy,
+    ctx: &mut saga_core::SchedContext,
+    scratch: &mut AnnealScratch,
+) -> (f64, f64, usize) {
     let cfg = &pisa.config;
     let natural = ((cfg.t_min / cfg.t_max).ln() / cfg.alpha.ln()).ceil() as usize;
     let iters = natural.min(cfg.i_max);
-    let initial_ratio = pisa.ratio(&start);
+    let initial_ratio = pisa.ratio_with(start, ctx);
     let mut evaluations = 1;
-    let mut current = start.clone();
+    crate::annealer::fill(&mut scratch.current, start);
+    crate::annealer::fill(&mut scratch.candidate, start);
+    crate::annealer::fill(&mut scratch.best, start);
+    let current = scratch.current.as_mut().expect("filled above");
+    let candidate = scratch.candidate.as_mut().expect("filled above");
+    let best = scratch.best.as_mut().expect("filled above");
     let mut cur_ratio = initial_ratio;
-    let mut best = start;
     let mut best_ratio = initial_ratio;
     for _ in 0..iters {
-        let mut candidate = current.clone();
-        pisa.perturber.perturb(&mut candidate, rng);
-        let r = pisa.ratio(&candidate);
-        evaluations += 1;
-        if r > best_ratio {
-            best = candidate.clone();
-            best_ratio = r;
-        }
-        let accept = match strategy {
-            Strategy::HillClimb => r > cur_ratio,
+        let accepts = |r: f64, cur: f64| match strategy {
+            Strategy::HillClimb => r > cur,
             Strategy::RandomWalk => true,
-            Strategy::Annealing => unreachable!("handled by Pisa::run"),
+            Strategy::Annealing => unreachable!("handled by Pisa::run_in"),
         };
-        if accept {
-            current = candidate;
-            cur_ratio = r;
+        // in-place fast path with bitwise undo, mirroring the annealer's
+        if let Some(undo) = pisa.perturber.perturb_undoable(current, rng) {
+            let r = pisa.ratio_with(current, ctx);
+            evaluations += 1;
+            if r > best_ratio {
+                best.clone_from(current);
+                best_ratio = r;
+            }
+            if accepts(r, cur_ratio) {
+                cur_ratio = r;
+            } else {
+                undo.revert(current);
+            }
+        } else {
+            candidate.clone_from(current);
+            pisa.perturber.perturb(candidate, rng);
+            let r = pisa.ratio_with(candidate, ctx);
+            evaluations += 1;
+            if r > best_ratio {
+                best.clone_from(candidate);
+                best_ratio = r;
+            }
+            if accepts(r, cur_ratio) {
+                std::mem::swap(current, candidate);
+                cur_ratio = r;
+            }
         }
     }
     let _ = (cur_ratio, rng.gen::<u8>()); // keep rng streams distinct per restart
-    PisaResult {
-        instance: best,
-        ratio: best_ratio,
-        initial_ratio,
-        evaluations,
-    }
+    (best_ratio, initial_ratio, evaluations)
 }
 
 #[cfg(test)]

@@ -60,8 +60,30 @@ pub struct PisaResult {
     /// Ratio of the initial instance of the best restart (for "how much did
     /// annealing help" diagnostics).
     pub initial_ratio: f64,
-    /// Total candidate evaluations across restarts.
+    /// Candidate evaluations performed by the winning restart (initial
+    /// evaluation included).
     pub evaluations: usize,
+}
+
+/// Reusable instance slots for the annealing loop. A search keeps four
+/// persistent instances (current, candidate, per-run best, cross-restart
+/// best); borrowing them from the caller lets a batch runner amortize the
+/// buffers across every restart of every cell a worker executes, instead of
+/// reallocating them per run.
+#[derive(Debug, Default)]
+pub struct AnnealScratch {
+    pub(crate) current: Option<Instance>,
+    pub(crate) candidate: Option<Instance>,
+    pub(crate) best: Option<Instance>,
+    pub(crate) best_overall: Option<Instance>,
+}
+
+/// Copies `src` into `slot`, reusing the slot's buffers when warm.
+pub(crate) fn fill(slot: &mut Option<Instance>, src: &Instance) {
+    match slot {
+        Some(inst) => inst.clone_from(src),
+        None => *slot = Some(src.clone()),
+    }
 }
 
 /// The PISA search engine for one ordered scheduler pair.
@@ -105,11 +127,26 @@ impl Pisa<'_> {
     /// quality).
     pub fn run(&self, init: &dyn Fn(&mut StdRng) -> Instance) -> PisaResult {
         let mut ctx = SchedContext::new();
-        maximize(
-            &mut |inst| self.ratio_with(inst, &mut ctx),
+        let mut scratch = AnnealScratch::default();
+        self.run_in(&mut ctx, &mut scratch, init)
+    }
+
+    /// [`run`](Self::run) borrowing the scheduling context and the annealing
+    /// scratch instances from the caller — the batch-runner entry point: a
+    /// worker thread keeps one warm context and one scratch across every
+    /// cell it executes, so back-to-back cells allocate nothing.
+    pub fn run_in(
+        &self,
+        ctx: &mut SchedContext,
+        scratch: &mut AnnealScratch,
+        init: &dyn Fn(&mut StdRng) -> Instance,
+    ) -> PisaResult {
+        maximize_in(
+            &mut |inst| self.ratio_with(inst, ctx),
             self.perturber,
             self.config,
             init,
+            scratch,
         )
     }
 
@@ -136,27 +173,67 @@ pub fn maximize(
     config: PisaConfig,
     init: &dyn Fn(&mut StdRng) -> Instance,
 ) -> PisaResult {
-    let mut best: Option<PisaResult> = None;
+    let mut scratch = AnnealScratch::default();
+    maximize_in(objective, perturber, config, init, &mut scratch)
+}
+
+/// [`maximize`] with caller-provided scratch instances: all restarts (and,
+/// for a worker thread, all cells) share one set of instance buffers. The
+/// winning restart's best instance is kept in the scratch and cloned out
+/// exactly once, into the returned [`PisaResult`].
+pub fn maximize_in(
+    objective: &mut dyn FnMut(&Instance) -> f64,
+    perturber: &dyn Perturber,
+    config: PisaConfig,
+    init: &dyn Fn(&mut StdRng) -> Instance,
+    scratch: &mut AnnealScratch,
+) -> PisaResult {
+    best_over_restarts(config, init, scratch, |start, rng, scratch| {
+        run_annealing(objective, perturber, config, start, rng, scratch)
+    })
+}
+
+/// The shared restart loop: restart `k` seeds its RNG with `seed + k`,
+/// draws a start from `init`, and runs `one_run` (which must return
+/// `(best ratio, initial ratio, evaluations)` and leave its best instance
+/// in `scratch.best`). Strictly-better ratios win (ties keep the earlier
+/// restart); the winner's instance is kept in `scratch.best_overall` and
+/// cloned out exactly once. Both the annealer and the ablation strategies
+/// run through here, so their restart accounting cannot diverge.
+pub(crate) fn best_over_restarts(
+    config: PisaConfig,
+    init: &dyn Fn(&mut StdRng) -> Instance,
+    scratch: &mut AnnealScratch,
+    mut one_run: impl FnMut(&Instance, &mut StdRng, &mut AnnealScratch) -> (f64, f64, usize),
+) -> PisaResult {
+    let mut best: Option<(f64, f64, usize)> = None;
     for k in 0..config.restarts {
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(k as u64));
         let start = init(&mut rng);
-        let res = maximize_once(objective, perturber, config, start, &mut rng);
-        let better = match &best {
+        let (ratio, initial_ratio, evaluations) = one_run(&start, &mut rng, scratch);
+        let better = match best {
             None => true,
-            Some(b) => res.ratio > b.ratio,
+            Some((best_ratio, _, _)) => ratio > best_ratio,
         };
         if better {
-            best = Some(res);
+            best = Some((ratio, initial_ratio, evaluations));
+            std::mem::swap(&mut scratch.best, &mut scratch.best_overall);
         }
     }
-    best.expect("restarts >= 1")
+    let (ratio, initial_ratio, evaluations) = best.expect("restarts >= 1");
+    PisaResult {
+        instance: scratch
+            .best_overall
+            .as_ref()
+            .expect("winning restart stored its best instance")
+            .clone(),
+        ratio,
+        initial_ratio,
+        evaluations,
+    }
 }
 
 /// One annealing run of [`maximize`] from a fixed initial instance.
-///
-/// The loop keeps three persistent instances (`current`, `candidate`,
-/// `best`) and moves state between them with buffer-reusing `clone_from` /
-/// swaps, so a run's steady state performs no instance allocation at all.
 pub fn maximize_once(
     objective: &mut dyn FnMut(&Instance) -> f64,
     perturber: &dyn Perturber,
@@ -164,39 +241,80 @@ pub fn maximize_once(
     start: Instance,
     rng: &mut StdRng,
 ) -> PisaResult {
-    let initial_ratio = objective(&start);
+    let mut scratch = AnnealScratch::default();
+    let (ratio, initial_ratio, evaluations) =
+        run_annealing(objective, perturber, config, &start, rng, &mut scratch);
+    PisaResult {
+        instance: scratch.best.expect("run stores its best instance"),
+        ratio,
+        initial_ratio,
+        evaluations,
+    }
+}
+
+/// The annealing loop proper: one run from `start`, using the scratch's
+/// persistent instances (`current`, `candidate`, `best`) with buffer-reusing
+/// `clone_from` / swaps, so a run's steady state performs no instance
+/// allocation at all. Returns `(best ratio, initial ratio, evaluations)`;
+/// the best instance is left in `scratch.best`.
+fn run_annealing(
+    objective: &mut dyn FnMut(&Instance) -> f64,
+    perturber: &dyn Perturber,
+    config: PisaConfig,
+    start: &Instance,
+    rng: &mut StdRng,
+    scratch: &mut AnnealScratch,
+) -> (f64, f64, usize) {
+    let initial_ratio = objective(start);
     let mut evaluations = 1;
-    let mut current = start.clone();
+    fill(&mut scratch.current, start);
+    fill(&mut scratch.candidate, start);
+    fill(&mut scratch.best, start);
+    let current = scratch.current.as_mut().expect("filled above");
+    let candidate = scratch.candidate.as_mut().expect("filled above");
+    let best = scratch.best.as_mut().expect("filled above");
     let mut cur_ratio = initial_ratio;
-    let mut candidate = start.clone();
-    let mut best = start;
     let mut best_ratio = initial_ratio;
 
     let mut t = config.t_max;
     let mut iter = 0;
     while t > config.t_min && iter < config.i_max {
-        candidate.clone_from(&current);
-        perturber.perturb(&mut candidate, rng);
-        let r = objective(&candidate);
-        evaluations += 1;
-        if r > best_ratio {
-            best.clone_from(&candidate);
-            best_ratio = r;
-            std::mem::swap(&mut current, &mut candidate);
-            cur_ratio = r;
-        } else if accept(cur_ratio, r, t, rng) {
-            std::mem::swap(&mut current, &mut candidate);
-            cur_ratio = r;
+        // In-place fast path: perturb the current instance directly and
+        // revert on rejection — no per-iteration instance copy. The revert
+        // is bitwise, and a reverted/kept `current` holds exactly the bits
+        // the clone-based fallback would, so both paths are value-identical
+        // (the golden PISA-cell fixture pins this).
+        if let Some(undo) = perturber.perturb_undoable(current, rng) {
+            let r = objective(current);
+            evaluations += 1;
+            if r > best_ratio {
+                best.clone_from(current);
+                best_ratio = r;
+                cur_ratio = r;
+            } else if accept(cur_ratio, r, t, rng) {
+                cur_ratio = r;
+            } else {
+                undo.revert(current);
+            }
+        } else {
+            candidate.clone_from(current);
+            perturber.perturb(candidate, rng);
+            let r = objective(candidate);
+            evaluations += 1;
+            if r > best_ratio {
+                best.clone_from(candidate);
+                best_ratio = r;
+                std::mem::swap(current, candidate);
+                cur_ratio = r;
+            } else if accept(cur_ratio, r, t, rng) {
+                std::mem::swap(current, candidate);
+                cur_ratio = r;
+            }
         }
         t *= config.alpha;
         iter += 1;
     }
-    PisaResult {
-        instance: best,
-        ratio: best_ratio,
-        initial_ratio,
-        evaluations,
-    }
+    (best_ratio, initial_ratio, evaluations)
 }
 
 /// Metropolis acceptance for a maximization over ratios; handles the

@@ -10,7 +10,7 @@
 //! * the remaining weight perturbations are re-scaled to the min/max
 //!   runtimes, I/O sizes and machine speeds observed for that application.
 
-use crate::annealer::{Pisa, PisaConfig, PisaResult};
+use crate::annealer::{AnnealScratch, Pisa, PisaConfig, PisaResult};
 use crate::perturb::{GeneralPerturber, WeightRange};
 use rand::rngs::StdRng;
 use saga_core::Instance;
@@ -66,6 +66,21 @@ impl AppSpecific {
         baseline: &dyn Scheduler,
         config: PisaConfig,
     ) -> PisaResult {
+        let mut ctx = saga_core::SchedContext::new();
+        let mut scratch = AnnealScratch::default();
+        self.run_pair_in(target, baseline, config, &mut ctx, &mut scratch)
+    }
+
+    /// [`run_pair`](Self::run_pair) borrowing the scheduling context and
+    /// scratch instances from the caller — the batch-runner entry point.
+    pub fn run_pair_in(
+        &self,
+        target: &dyn Scheduler,
+        baseline: &dyn Scheduler,
+        config: PisaConfig,
+        ctx: &mut saga_core::SchedContext,
+        scratch: &mut AnnealScratch,
+    ) -> PisaResult {
         let perturber = self.perturber();
         let pisa = Pisa {
             target,
@@ -74,7 +89,7 @@ impl AppSpecific {
             config,
         };
         let this = *self;
-        pisa.run(&move |rng| this.initial_instance(rng))
+        pisa.run_in(ctx, scratch, &move |rng| this.initial_instance(rng))
     }
 }
 

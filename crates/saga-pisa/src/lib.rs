@@ -15,9 +15,13 @@
 //!   trace-scaled, structure-preserving variants of Section VII.
 //! * [`constraints`] — per-scheduler homogeneity restrictions (ETF/FCP/FLB
 //!   fix node speeds; BIL/GDL/FCP/FLB fix link strengths).
-//! * [`pairwise`] — the rayon-parallel all-pairs driver behind Fig. 4.
+//! * [`pairwise`] — the all-pairs cell grid behind Fig. 4.
 //! * [`app_specific`] — the Section VII application-specific search over
 //!   rigid scientific-workflow structures at fixed CCR.
+//! * [`runner`] — the [`SearchCell`](runner::SearchCell) runtime: every
+//!   search variant expressed as data, executed against borrowed contexts
+//!   and scratch by any driver (pooled rayon here, the checkpointing batch
+//!   engine in `saga-experiments`).
 
 #![warn(missing_docs)]
 
@@ -29,10 +33,12 @@ pub mod library;
 pub mod metric;
 pub mod pairwise;
 pub mod perturb;
+pub mod runner;
 
-pub use annealer::{Pisa, PisaConfig, PisaResult};
-pub use pairwise::{pairwise_matrix, PairwiseMatrix};
+pub use annealer::{AnnealScratch, Pisa, PisaConfig, PisaResult};
+pub use pairwise::{pairwise_cells, pairwise_matrix, PairwiseMatrix};
 pub use perturb::{GeneralPerturber, Perturber};
+pub use runner::{cell_config, run_cells_pooled, CellKind, SearchCell};
 
 /// The adversarial objective: the makespan ratio of `target` against
 /// `baseline` (`m_A / m_B`), with the conventions the paper's `> 1000`

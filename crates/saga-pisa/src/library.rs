@@ -97,8 +97,13 @@ impl WitnessLibrary {
     }
 
     /// Re-checks every stored ratio by re-running both schedulers; returns
-    /// the number of mismatches (0 for a healthy library).
+    /// the number of mismatches (0 for a healthy library). One pooled
+    /// scheduling context serves every witness (cost tables pinned per
+    /// instance, shared by the two runs) instead of each `schedule()` call
+    /// allocating its own.
     pub fn revalidate(&self) -> usize {
+        let pool = saga_core::ContextPool::new();
+        let mut ctx = pool.take();
         let mut bad = 0;
         for r in &self.records {
             let (Some(t), Some(b)) = (
@@ -109,7 +114,9 @@ impl WitnessLibrary {
                 continue;
             };
             let inst = r.instance();
-            let ratio = makespan_ratio(t.schedule(&inst).makespan(), b.schedule(&inst).makespan());
+            let ratio = ctx.with_pinned(&inst, |ctx| {
+                makespan_ratio(t.makespan_into(&inst, ctx), b.makespan_into(&inst, ctx))
+            });
             let recorded = r.ratio_value();
             let matches = (ratio.is_infinite() && recorded.is_infinite())
                 || (ratio - recorded).abs() <= 1e-6 * recorded.abs().max(1.0);
@@ -123,17 +130,23 @@ impl WitnessLibrary {
     /// Scores a (possibly new) scheduler against every witness: for each
     /// record, the candidate's makespan ratio against the record's baseline
     /// on the stored instance. Returns `(target, baseline, stored, candidate)`
-    /// rows — "would the new scheduler fall into the same traps?".
+    /// rows — "would the new scheduler fall into the same traps?". Reuses
+    /// one pooled context across all witnesses, like
+    /// [`revalidate`](Self::revalidate).
     pub fn evaluate(&self, candidate: &dyn Scheduler) -> Vec<(String, String, f64, f64)> {
+        let pool = saga_core::ContextPool::new();
+        let mut ctx = pool.take();
         self.records
             .iter()
             .filter_map(|r| {
                 let baseline = saga_schedulers::by_name(&r.baseline)?;
                 let inst = r.instance();
-                let ratio = makespan_ratio(
-                    candidate.schedule(&inst).makespan(),
-                    baseline.schedule(&inst).makespan(),
-                );
+                let ratio = ctx.with_pinned(&inst, |ctx| {
+                    makespan_ratio(
+                        candidate.makespan_into(&inst, ctx),
+                        baseline.makespan_into(&inst, ctx),
+                    )
+                });
                 Some((r.target.clone(), r.baseline.clone(), r.ratio_value(), ratio))
             })
             .collect()

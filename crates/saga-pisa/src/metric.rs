@@ -5,7 +5,7 @@
 //! throughput, where larger is better), pluggable into the
 //! [`maximize`](crate::annealer::maximize()) generic annealer.
 
-use crate::annealer::{maximize, PisaConfig, PisaResult};
+use crate::annealer::{maximize_in, AnnealScratch, PisaConfig, PisaResult};
 use crate::makespan_ratio;
 use crate::perturb::Perturber;
 use rand::rngs::StdRng;
@@ -106,11 +106,38 @@ pub fn metric_search(
     init: &dyn Fn(&mut StdRng) -> Instance,
 ) -> PisaResult {
     let mut ctx = saga_core::SchedContext::new();
-    maximize(
-        &mut |inst| objective.ratio_with(target, baseline, inst, &mut ctx),
+    let mut scratch = AnnealScratch::default();
+    metric_search_in(
+        objective,
+        target,
+        baseline,
         perturber,
         config,
         init,
+        &mut ctx,
+        &mut scratch,
+    )
+}
+
+/// [`metric_search`] borrowing the scheduling context and scratch instances
+/// from the caller — the batch-runner entry point.
+#[allow(clippy::too_many_arguments)] // mirrors `metric_search` plus the two borrows
+pub fn metric_search_in(
+    objective: Objective,
+    target: &dyn Scheduler,
+    baseline: &dyn Scheduler,
+    perturber: &dyn Perturber,
+    config: PisaConfig,
+    init: &dyn Fn(&mut StdRng) -> Instance,
+    ctx: &mut saga_core::SchedContext,
+    scratch: &mut AnnealScratch,
+) -> PisaResult {
+    maximize_in(
+        &mut |inst| objective.ratio_with(target, baseline, inst, ctx),
+        perturber,
+        config,
+        init,
+        scratch,
     )
 }
 

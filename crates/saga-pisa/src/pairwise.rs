@@ -1,14 +1,16 @@
 //! The all-pairs adversarial comparison behind the paper's Fig. 4.
 //!
 //! For every ordered pair `(baseline i, target j)`, run PISA to find the
-//! instance maximizing `m_j / m_i`. Pairs are independent, so they fan out
-//! across cores with rayon (the matrix is 15×15 with 5 restarts each — over
-//! a thousand annealing runs).
+//! instance maximizing `m_j / m_i`. The grid is expressed as
+//! [`SearchCell`]s ([`pairwise_cells`]) so any cell executor reproduces it:
+//! [`pairwise_matrix`] drives the plain pooled runner, and the `fig4`
+//! binary drives the experiment engine's checkpointing `run_cells` — both
+//! bit-identical, at any thread count (the matrix is 15×15 with 5 restarts
+//! each — over a thousand annealing runs).
 
-use crate::annealer::{Pisa, PisaConfig};
-use crate::constraints;
-use crate::perturb::{initial_instance, GeneralPerturber};
-use rayon::prelude::*;
+use crate::annealer::PisaConfig;
+use crate::runner::{cell_config, run_cells_pooled, SearchCell};
+use crate::PisaResult;
 use saga_core::Instance;
 use saga_schedulers::Scheduler;
 
@@ -50,60 +52,62 @@ impl PairwiseMatrix {
     }
 }
 
+/// Builds the Fig. 4 cell grid for `schedulers`: one [`SearchCell`] per
+/// ordered pair `(baseline i, target j)`, row-major with the diagonal
+/// skipped. Cell `k` runs on the stream `derive_seed(config.seed, k)`, so
+/// every cell is independent and reproducible whatever executes it.
+pub fn pairwise_cells(schedulers: &[Box<dyn Scheduler>], config: PisaConfig) -> Vec<SearchCell> {
+    let n = schedulers.len();
+    let mut cells = Vec::with_capacity(n * n - n);
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            cells.push(SearchCell::pair(
+                schedulers[j].name(),
+                schedulers[i].name(),
+                cell_config(config, cells.len() as u64),
+            ));
+        }
+    }
+    cells
+}
+
+impl PairwiseMatrix {
+    /// Assembles the matrix from per-cell results in [`pairwise_cells`]
+    /// order (row-major, diagonal skipped).
+    pub fn from_cell_results(names: Vec<String>, results: Vec<PisaResult>) -> Self {
+        let n = names.len();
+        assert_eq!(results.len(), n * n - n, "one result per off-diagonal cell");
+        let mut ratios = vec![vec![1.0f64; n]; n];
+        let mut witnesses: Vec<Vec<Option<Instance>>> = (0..n).map(|_| vec![None; n]).collect();
+        let mut it = results.into_iter();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let res = it.next().expect("length checked above");
+                ratios[i][j] = res.ratio;
+                witnesses[i][j] = Some(res.instance);
+            }
+        }
+        PairwiseMatrix {
+            names,
+            ratios,
+            witnesses,
+        }
+    }
+}
+
 /// Runs PISA for every ordered pair of `schedulers` and assembles the
-/// Fig. 4 matrix. `config.seed` is combined with the pair index so every
-/// cell gets an independent, reproducible stream.
+/// Fig. 4 matrix on the pooled cell runner. `config.seed` is combined with
+/// the pair index so every cell gets an independent, reproducible stream.
 pub fn pairwise_matrix(schedulers: &[Box<dyn Scheduler>], config: PisaConfig) -> PairwiseMatrix {
     let names: Vec<String> = schedulers.iter().map(|s| s.name().to_string()).collect();
-    let n = schedulers.len();
-    let cells: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| (0..n).map(move |j| (i, j)))
-        .filter(|&(i, j)| i != j)
-        .collect();
-    let results: Vec<((usize, usize), (f64, Instance))> = cells
-        .par_iter()
-        .map(|&(i, j)| {
-            let baseline = &*schedulers[i];
-            let target = &*schedulers[j];
-            let perturber = constraints::restrict_for_pair(
-                GeneralPerturber::default(),
-                target.name(),
-                baseline.name(),
-            );
-            let pisa = Pisa {
-                target,
-                baseline,
-                perturber: &perturber,
-                config: PisaConfig {
-                    seed: config
-                        .seed
-                        .wrapping_mul(0x9E3779B97F4A7C15)
-                        .wrapping_add((i * n + j) as u64),
-                    ..config
-                },
-            };
-            let tname = target.name().to_string();
-            let bname = baseline.name().to_string();
-            let res = pisa.run(&move |rng| {
-                let mut inst = initial_instance(rng);
-                constraints::homogenize_for_pair(&mut inst, &tname, &bname);
-                inst
-            });
-            ((i, j), (res.ratio, res.instance))
-        })
-        .collect();
-
-    let mut ratios = vec![vec![1.0f64; n]; n];
-    let mut witnesses: Vec<Vec<Option<Instance>>> = (0..n).map(|_| vec![None; n]).collect();
-    for ((i, j), (r, inst)) in results {
-        ratios[i][j] = r;
-        witnesses[i][j] = Some(inst);
-    }
-    PairwiseMatrix {
-        names,
-        ratios,
-        witnesses,
-    }
+    let cells = pairwise_cells(schedulers, config);
+    PairwiseMatrix::from_cell_results(names, run_cells_pooled(&cells))
 }
 
 #[cfg(test)]

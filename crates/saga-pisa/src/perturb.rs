@@ -16,6 +16,79 @@ use saga_core::{Instance, NodeId, TaskId};
 pub trait Perturber: Send + Sync {
     /// Mutates `inst` in place using `rng`.
     fn perturb(&self, inst: &mut Instance, rng: &mut StdRng);
+
+    /// Like [`perturb`](Self::perturb), but returns a record that
+    /// [`PerturbUndo::revert`] can use to restore `inst` bitwise — letting
+    /// the annealer mutate its current instance in place and undo on
+    /// rejection instead of cloning a candidate every iteration. Returns
+    /// `None` when the perturber does not support undo (the annealer then
+    /// falls back to the clone-based path). The RNG consumption must be
+    /// identical to `perturb`'s.
+    fn perturb_undoable(&self, inst: &mut Instance, rng: &mut StdRng) -> Option<PerturbUndo> {
+        let _ = (inst, rng);
+        None
+    }
+}
+
+/// A reversible record of one applied perturbation (see
+/// [`Perturber::perturb_undoable`]). Reverting restores the instance
+/// *bitwise*, including adjacency-list order.
+#[derive(Debug, Clone, Copy)]
+pub enum PerturbUndo {
+    /// No operator was applicable; the instance is unchanged.
+    Nothing,
+    /// A node speed was nudged; holds the node and its previous speed.
+    NodeWeight(NodeId, f64),
+    /// A link strength was nudged; holds the endpoints and previous value.
+    EdgeWeight(NodeId, NodeId, f64),
+    /// A task cost was nudged; holds the task and its previous cost.
+    TaskWeight(TaskId, f64),
+    /// A dependency size was nudged; holds the edge and its previous size.
+    DepWeight(TaskId, TaskId, f64),
+    /// A dependency was added (it is the newest edge of both lists).
+    AddDep(TaskId, TaskId),
+    /// A dependency was removed; holds everything needed to restore it at
+    /// its exact prior adjacency positions.
+    RemoveDep {
+        /// Source task of the removed edge.
+        from: TaskId,
+        /// Destination task of the removed edge.
+        to: TaskId,
+        /// Data size of the removed edge.
+        cost: f64,
+        /// Position the edge occupied in `from`'s successor list.
+        succ_pos: usize,
+        /// Position the edge occupied in `to`'s predecessor list.
+        pred_pos: usize,
+    },
+}
+
+impl PerturbUndo {
+    /// Restores the perturbed instance to its exact pre-perturbation state.
+    pub fn revert(self, inst: &mut Instance) {
+        match self {
+            PerturbUndo::Nothing => {}
+            PerturbUndo::NodeWeight(v, w) => inst.network.set_speed(v, w),
+            PerturbUndo::EdgeWeight(u, v, w) => inst.network.set_link(u, v, w),
+            PerturbUndo::TaskWeight(t, c) => {
+                inst.graph.set_cost(t, c).expect("previous cost was valid")
+            }
+            PerturbUndo::DepWeight(a, b, c) => inst
+                .graph
+                .set_dependency_cost(a, b, c)
+                .expect("edge still present"),
+            PerturbUndo::AddDep(a, b) => inst.graph.pop_dependency(a, b),
+            PerturbUndo::RemoveDep {
+                from,
+                to,
+                cost,
+                succ_pos,
+                pred_pos,
+            } => inst
+                .graph
+                .restore_dependency_at(from, to, cost, succ_pos, pred_pos),
+        }
+    }
 }
 
 /// Inclusive weight bounds plus the nudge magnitude derived from them
@@ -109,45 +182,57 @@ enum Op {
 }
 
 impl GeneralPerturber {
-    fn enabled_ops(&self) -> Vec<Op> {
-        let mut ops = Vec::with_capacity(6);
+    /// The enabled operators in declaration order, on the stack — the
+    /// perturber runs once per annealing iteration and must not allocate.
+    fn enabled_ops(&self) -> ([Op; 6], usize) {
+        let mut ops = [Op::NodeWeight; 6];
+        let mut n = 0;
+        let mut push = |op: Op| {
+            ops[n] = op;
+            n += 1;
+        };
         if self.node_weights {
-            ops.push(Op::NodeWeight);
+            push(Op::NodeWeight);
         }
         if self.edge_weights {
-            ops.push(Op::EdgeWeight);
+            push(Op::EdgeWeight);
         }
         if self.task_weights {
-            ops.push(Op::TaskWeight);
+            push(Op::TaskWeight);
         }
         if self.dependency_weights {
-            ops.push(Op::DepWeight);
+            push(Op::DepWeight);
         }
         if self.add_dependency {
-            ops.push(Op::AddDep);
+            push(Op::AddDep);
         }
         if self.remove_dependency {
-            ops.push(Op::RemoveDep);
+            push(Op::RemoveDep);
         }
-        ops
+        (ops, n)
     }
 
-    fn apply(&self, op: Op, inst: &mut Instance, rng: &mut StdRng) -> bool {
+    /// Applies `op` if applicable, returning how to revert it (`None` when
+    /// the operator cannot apply). The single source of truth for operator
+    /// semantics — the plain and undoable perturbation paths both run this,
+    /// so their mutations and RNG consumption cannot diverge.
+    fn apply_undoable(&self, op: Op, inst: &mut Instance, rng: &mut StdRng) -> Option<PerturbUndo> {
         match op {
             Op::NodeWeight => {
                 let n = inst.network.node_count();
                 if n == 0 {
-                    return false;
+                    return None;
                 }
                 let v = NodeId(rng.gen_range(0..n as u32));
-                let w = self.node_range.nudge(rng, inst.network.speed(v));
+                let old = inst.network.speed(v);
+                let w = self.node_range.nudge(rng, old);
                 inst.network.set_speed(v, w);
-                true
+                Some(PerturbUndo::NodeWeight(v, old))
             }
             Op::EdgeWeight => {
                 let n = inst.network.node_count();
                 if n < 2 {
-                    return false;
+                    return None;
                 }
                 let u = rng.gen_range(0..n as u32);
                 let mut v = rng.gen_range(0..n as u32 - 1);
@@ -159,39 +244,41 @@ impl GeneralPerturber {
                 // infinite links (shared filesystems) are a modeling
                 // constant, not a weight — leave them alone
                 if cur.is_infinite() {
-                    return false;
+                    return None;
                 }
                 inst.network.set_link(u, v, self.link_range.nudge(rng, cur));
-                true
+                Some(PerturbUndo::EdgeWeight(u, v, cur))
             }
             Op::TaskWeight => {
                 let n = inst.graph.task_count();
                 if n == 0 {
-                    return false;
+                    return None;
                 }
                 let t = TaskId(rng.gen_range(0..n as u32));
-                let w = self.task_range.nudge(rng, inst.graph.cost(t));
+                let old = inst.graph.cost(t);
+                let w = self.task_range.nudge(rng, old);
                 inst.graph.set_cost(t, w).expect("in-range cost");
-                true
+                Some(PerturbUndo::TaskWeight(t, old))
             }
             Op::DepWeight => {
-                let deps: Vec<(TaskId, TaskId)> =
-                    inst.graph.dependencies().map(|(a, b, _)| (a, b)).collect();
-                if deps.is_empty() {
-                    return false;
+                let n = inst.graph.dependency_count();
+                if n == 0 {
+                    return None;
                 }
-                let (a, b) = deps[rng.gen_range(0..deps.len())];
-                let cur = inst.graph.dependency_cost(a, b).expect("listed dep");
+                let (a, b, cur) = inst
+                    .graph
+                    .nth_dependency(rng.gen_range(0..n))
+                    .expect("index in range");
                 let w = self.dep_range.nudge(rng, cur);
                 inst.graph
                     .set_dependency_cost(a, b, w)
                     .expect("in-range cost");
-                true
+                Some(PerturbUndo::DepWeight(a, b, cur))
             }
             Op::AddDep => {
                 let n = inst.graph.task_count();
                 if n < 2 {
-                    return false;
+                    return None;
                 }
                 // up to a handful of attempts to find an acyclic non-edge
                 for _ in 0..8 {
@@ -206,37 +293,58 @@ impl GeneralPerturber {
                     }
                     let w = self.dep_range.sample(rng);
                     inst.graph.add_dependency(t, u, w).expect("checked acyclic");
-                    return true;
+                    return Some(PerturbUndo::AddDep(t, u));
                 }
-                false
+                None
             }
             Op::RemoveDep => {
-                let deps: Vec<(TaskId, TaskId)> =
-                    inst.graph.dependencies().map(|(a, b, _)| (a, b)).collect();
-                if deps.is_empty() {
-                    return false;
+                let n = inst.graph.dependency_count();
+                if n == 0 {
+                    return None;
                 }
-                let (a, b) = deps[rng.gen_range(0..deps.len())];
-                inst.graph.remove_dependency(a, b).expect("listed dep");
-                true
+                let (a, b, _) = inst
+                    .graph
+                    .nth_dependency(rng.gen_range(0..n))
+                    .expect("index in range");
+                let (cost, succ_pos, pred_pos) = inst
+                    .graph
+                    .remove_dependency_tracked(a, b)
+                    .expect("listed dep");
+                Some(PerturbUndo::RemoveDep {
+                    from: a,
+                    to: b,
+                    cost,
+                    succ_pos,
+                    pred_pos,
+                })
             }
         }
+    }
+
+    /// The shared operator-selection loop: equal-probability draw, falling
+    /// through to the next applicable op.
+    fn step(&self, inst: &mut Instance, rng: &mut StdRng) -> PerturbUndo {
+        let (ops, n) = self.enabled_ops();
+        if n == 0 {
+            return PerturbUndo::Nothing;
+        }
+        let start = rng.gen_range(0..n);
+        for k in 0..n {
+            if let Some(undo) = self.apply_undoable(ops[(start + k) % n], inst, rng) {
+                return undo;
+            }
+        }
+        PerturbUndo::Nothing
     }
 }
 
 impl Perturber for GeneralPerturber {
     fn perturb(&self, inst: &mut Instance, rng: &mut StdRng) {
-        let ops = self.enabled_ops();
-        if ops.is_empty() {
-            return;
-        }
-        let start = rng.gen_range(0..ops.len());
-        // equal-probability draw, falling through to the next applicable op
-        for k in 0..ops.len() {
-            if self.apply(ops[(start + k) % ops.len()], inst, rng) {
-                return;
-            }
-        }
+        self.step(inst, rng);
+    }
+
+    fn perturb_undoable(&self, inst: &mut Instance, rng: &mut StdRng) -> Option<PerturbUndo> {
+        Some(self.step(inst, rng))
     }
 }
 

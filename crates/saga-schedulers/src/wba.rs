@@ -48,9 +48,16 @@ impl KernelRun for Wba {
         let mut sweep = util::FrontierSweep::new(ctx);
         // running max over placed finishes == ctx.current_makespan()
         let mut current = 0.0f64;
-        let mut options: Vec<(saga_core::TaskId, saga_core::NodeId, f64, f64)> = Vec::new();
+        // Per-step options, in pooled parallel buffers. Option `i` is
+        // (ready task `i / nv`, node `i % nv`) — the ready set is stable
+        // while a step's options are built and consumed, so the identity is
+        // recovered from the index instead of storing tuples (which would
+        // need their own, unpooled allocation).
+        let mut starts = ctx.take_f64();
+        let mut increases = ctx.take_f64();
         while ctx.placed_count() < n {
-            options.clear();
+            starts.clear();
+            increases.clear();
             let mut i_min = f64::INFINITY;
             let mut i_max = f64::NEG_INFINITY;
             for &t in ctx.ready() {
@@ -61,33 +68,30 @@ impl KernelRun for Wba {
                     let increase = (f - current).max(0.0);
                     i_min = i_min.min(increase);
                     i_max = i_max.max(increase);
-                    options.push((t, saga_core::NodeId(v as u32), s, increase));
+                    starts.push(s);
+                    increases.push(increase);
                 }
             }
             let chosen = if !i_min.is_finite() || !i_max.is_finite() || i_max == i_min {
                 // uniformly random among options (covers infinite increases
                 // on zero-speed networks and the all-equal case)
-                options[rng.gen_range(0..options.len())]
+                rng.gen_range(0..increases.len())
             } else {
                 // weight by (I_max - I): zero for the worst, largest for the
                 // best; sample proportionally
-                let total: f64 = options
+                let total: f64 = increases
                     .iter()
-                    .map(|&(_, _, _, i)| if i.is_finite() { i_max - i } else { 0.0 })
+                    .map(|&i| if i.is_finite() { i_max - i } else { 0.0 })
                     .sum();
                 if total <= 0.0 {
-                    options[rng.gen_range(0..options.len())]
+                    rng.gen_range(0..increases.len())
                 } else {
                     let mut x = rng.gen::<f64>() * total;
-                    let mut pick = options[options.len() - 1];
-                    for &opt in &options {
-                        let w = if opt.3.is_finite() {
-                            i_max - opt.3
-                        } else {
-                            0.0
-                        };
+                    let mut pick = increases.len() - 1;
+                    for (idx, &i) in increases.iter().enumerate() {
+                        let w = if i.is_finite() { i_max - i } else { 0.0 };
                         if x < w {
-                            pick = opt;
+                            pick = idx;
                             break;
                         }
                         x -= w;
@@ -95,10 +99,13 @@ impl KernelRun for Wba {
                     pick
                 }
             };
-            ctx.place(chosen.0, chosen.1, chosen.2);
-            sweep.note_placed(ctx, chosen.0);
-            current = current.max(ctx.finish_time(chosen.0));
+            let t = ctx.ready()[chosen / nv];
+            ctx.place(t, saga_core::NodeId((chosen % nv) as u32), starts[chosen]);
+            sweep.note_placed(ctx, t);
+            current = current.max(ctx.finish_time(t));
         }
+        ctx.give_f64(starts);
+        ctx.give_f64(increases);
         sweep.release(ctx);
     }
 }
