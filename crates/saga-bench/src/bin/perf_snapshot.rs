@@ -118,7 +118,7 @@ fn fig4_quick_cells_per_s(threads: usize) -> f64 {
         std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
         let engine = BatchEngine::new();
         let ms = time_ms(|| {
-            black_box(engine.run_cells(&cells, None, None));
+            black_box(engine.run_cells(&cells, None, None).unwrap());
         });
         std::env::remove_var("RAYON_NUM_THREADS");
         ms

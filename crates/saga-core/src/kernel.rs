@@ -29,6 +29,7 @@
 //! (the same contract the borrow in `ScheduleBuilder` used to enforce
 //! statically).
 
+use crate::incremental::{DirtyRegion, RunTrace};
 use crate::{Assignment, Instance, NodeId, Schedule, TaskId};
 
 /// Sets `v` to `n` copies of `value`, preferring an in-place fill (a memset
@@ -103,7 +104,12 @@ pub struct SchedContext {
     timelines: Vec<Vec<Slot>>,
     finish: Vec<f64>,
     node_of: Vec<NodeId>,
-    placed: Vec<bool>,
+    /// Placement epochs: task `t` is placed iff `placed_epoch[t] == epoch`.
+    /// Clearing the run state is then an epoch bump instead of a fill, and
+    /// `finish`/`node_of` need no clearing at all — their entries are only
+    /// read for tasks placed in the *current* epoch.
+    placed_epoch: Vec<u32>,
+    epoch: u32,
     placed_count: usize,
     /// Largest finish time on each node's timeline (0 when empty). Not the
     /// last slot's finish: a zero-duration task placed on an earlier slot's
@@ -114,11 +120,22 @@ pub struct SchedContext {
     unplaced_preds: Vec<u32>,
     /// Unplaced tasks whose predecessors are all placed, ascending by id.
     ready: Vec<TaskId>,
+    /// Initial predecessor counts / ready set for the cached CSR structure
+    /// (what `clear_run_state` restores by straight copy).
+    init_preds: Vec<u32>,
+    init_ready: Vec<TaskId>,
     // ---- scratch ----
     frontier_heap: std::collections::BinaryHeap<std::cmp::Reverse<TaskId>>,
     indeg_scratch: Vec<u32>,
     f64_pool: Vec<Vec<f64>>,
     task_pool: Vec<Vec<TaskId>>,
+    // ---- placement recording (incremental delta-evaluation) ----
+    /// When true, every [`place`](Self::place) appends to the `rec_*`
+    /// buffers; enabled only inside schedulers' incremental entry points.
+    recording: bool,
+    rec_task: Vec<TaskId>,
+    rec_node: Vec<NodeId>,
+    rec_start: Vec<f64>,
     /// When true, [`reset`](Self::reset) skips the table rebuild and only
     /// clears the run state — see [`pin_tables`](Self::pin_tables).
     pinned: bool,
@@ -179,6 +196,233 @@ impl SchedContext {
     /// rebuild the tables again.
     pub fn unpin_tables(&mut self) {
         self.pinned = false;
+    }
+
+    /// [`pin_tables`](Self::pin_tables) for an instance that differs from
+    /// the one the current tables were built for *only* by `dirty` — the
+    /// annealer's per-iteration entry point. Refreshes exactly the stale
+    /// pieces (a task's execution row, an edge's CSR costs, or — for
+    /// structural edits — the CSR views and topological order) with the
+    /// same expressions the full rebuild uses, so the refreshed tables are
+    /// bit-identical to a full [`pin_tables`]. Falls back to the full
+    /// rebuild for [`DirtyRegion::full`] regions or when the cached tables
+    /// don't line up with the instance's shape.
+    ///
+    /// The caller is responsible for `dirty` actually covering every change
+    /// since the tables were last built (the annealer derives it from the
+    /// perturbation undo records); the golden suites pin the equivalence.
+    pub fn pin_tables_dirty(&mut self, inst: &Instance, dirty: &DirtyRegion) {
+        let g = &inst.graph;
+        let net = &inst.network;
+        let aligned = self.n_tasks == g.task_count()
+            && self.n_nodes == net.node_count()
+            && self.exec.len() == self.n_tasks * self.n_nodes
+            && self.cost_snap.len() == self.n_tasks
+            && self.avg_exec.len() == self.n_tasks
+            && self.speed_snap.len() == self.n_nodes
+            && self.links.len() == self.n_nodes * self.n_nodes;
+        if dirty.refresh_unknown() || !aligned {
+            self.pin_tables(inst);
+            return;
+        }
+        self.pinned = false;
+        if let Some(v) = dirty.node_touched() {
+            // one node speed moved: refresh its execution column, the
+            // speed-derived scalars, and (inv_speed changed) every average
+            // execution time — the same expressions the full build uses
+            let nt = self.n_tasks;
+            let nv = self.n_nodes;
+            self.speed_snap[v.index()] = net.speeds()[v.index()];
+            self.inv_speed = net.mean_inverse_speed();
+            self.fastest = net.fastest_node();
+            for t in 0..nt {
+                self.exec[t * nv + v.index()] = net.exec_time(g.cost(TaskId(t as u32)), v);
+            }
+            let inv_speed = self.inv_speed;
+            self.avg_exec.clear();
+            self.avg_exec.extend(g.tasks().map(|t| {
+                let c = g.cost(t);
+                if c == 0.0 {
+                    0.0
+                } else {
+                    c * inv_speed
+                }
+            }));
+        }
+        if let Some((u, v)) = dirty.link_touched() {
+            // one (symmetric) link moved: two matrix entries + the mean
+            let nv = self.n_nodes;
+            self.links[u.index() * nv + v.index()] = net.links()[u.index() * nv + v.index()];
+            self.links[v.index() * nv + u.index()] = net.links()[v.index() * nv + u.index()];
+            self.inv_link = net.mean_inverse_link();
+        }
+        if dirty.is_structural() {
+            match dirty.struct_edit() {
+                Some((from, to, true)) => {
+                    let cost = g
+                        .dependency_cost(from, to)
+                        .expect("added edge present in the graph");
+                    self.csr_add_edge(from, to, cost);
+                    // a merged dependency-weight edit still needs its CSR
+                    // costs refreshed (the splice only syncs structure)
+                    for t in dirty.edge_touched() {
+                        self.refresh_adjacent_edge_costs(g, t);
+                    }
+                }
+                Some((from, to, false)) => {
+                    self.csr_remove_edge(from, to);
+                    for t in dirty.edge_touched() {
+                        self.refresh_adjacent_edge_costs(g, t);
+                    }
+                }
+                None => self.rebuild_csr(g),
+            }
+            debug_assert_eq!(
+                self.pred_task.len(),
+                g.dependency_count(),
+                "CSR splice diverged from the graph"
+            );
+            self.rebuild_topo();
+            // the run state's ready set / predecessor counters were derived
+            // from the old structure — force a re-clear even if untouched
+            self.run_clean = false;
+        } else {
+            debug_assert_eq!(
+                self.pred_task.len(),
+                g.dependency_count(),
+                "non-structural dirty region but dependency count changed"
+            );
+            for t in dirty.edge_touched() {
+                self.refresh_adjacent_edge_costs(g, t);
+            }
+        }
+        for &t in dirty.tasks() {
+            self.refresh_task_row(g, net, t);
+        }
+        if !self.run_clean {
+            self.clear_run_state();
+        }
+        self.pinned = true;
+    }
+
+    /// Recomputes the cached execution row, cost snapshot and average
+    /// execution time of `t` — the same expressions `rebuild_tables` uses,
+    /// so unchanged inputs reproduce unchanged bits.
+    fn refresh_task_row(&mut self, g: &crate::TaskGraph, net: &crate::Network, t: TaskId) {
+        let c = g.cost(t);
+        self.cost_snap[t.index()] = c;
+        self.avg_exec[t.index()] = if c == 0.0 { 0.0 } else { c * self.inv_speed };
+        let nv = self.n_nodes;
+        let row = &mut self.exec[t.index() * nv..(t.index() + 1) * nv];
+        for (v, slot) in row.iter_mut().enumerate() {
+            *slot = net.exec_time(c, NodeId(v as u32));
+        }
+    }
+
+    /// Splices the dependency `from → to` into the CSR views exactly the
+    /// way `TaskGraph::add_dependency` splices its adjacency lists: pushed
+    /// at the *end* of `from`'s successor row and `to`'s predecessor row.
+    /// Also maintains the cached initial predecessor counts / ready set.
+    fn csr_add_edge(&mut self, from: TaskId, to: TaskId, cost: f64) {
+        let pos = self.succ_off[from.index() + 1] as usize;
+        self.succ_task.insert(pos, to);
+        self.succ_cost.insert(pos, cost);
+        for o in &mut self.succ_off[from.index() + 1..] {
+            *o += 1;
+        }
+        let pos = self.pred_off[to.index() + 1] as usize;
+        self.pred_task.insert(pos, from);
+        self.pred_cost.insert(pos, cost);
+        for o in &mut self.pred_off[to.index() + 1..] {
+            *o += 1;
+        }
+        let d = &mut self.init_preds[to.index()];
+        if *d == 0 {
+            let i = self
+                .init_ready
+                .binary_search(&to)
+                .expect("source task was in the initial ready set");
+            self.init_ready.remove(i);
+        }
+        *d += 1;
+    }
+
+    /// Removes the dependency `from → to` from the CSR views with the same
+    /// `swap_remove` semantics `TaskGraph::remove_dependency_tracked` uses
+    /// on its adjacency lists (the row's last entry moves into the hole),
+    /// so row order keeps mirroring adjacency order bit for bit. Handles
+    /// `pop_dependency` reverts too — popping the last entry *is* a
+    /// swap-remove of the last entry.
+    fn csr_remove_edge(&mut self, from: TaskId, to: TaskId) {
+        let (s, e) = self.succ_range(from);
+        let i = s + self.succ_task[s..e]
+            .iter()
+            .position(|&t| t == to)
+            .expect("removed edge present in CSR");
+        self.succ_task[i] = self.succ_task[e - 1];
+        self.succ_cost[i] = self.succ_cost[e - 1];
+        self.succ_task.remove(e - 1);
+        self.succ_cost.remove(e - 1);
+        for o in &mut self.succ_off[from.index() + 1..] {
+            *o -= 1;
+        }
+        let (s, e) = self.pred_range(to);
+        let i = s + self.pred_task[s..e]
+            .iter()
+            .position(|&t| t == from)
+            .expect("removed edge present in CSR");
+        self.pred_task[i] = self.pred_task[e - 1];
+        self.pred_cost[i] = self.pred_cost[e - 1];
+        self.pred_task.remove(e - 1);
+        self.pred_cost.remove(e - 1);
+        for o in &mut self.pred_off[to.index() + 1..] {
+            *o -= 1;
+        }
+        let d = &mut self.init_preds[to.index()];
+        *d -= 1;
+        if *d == 0 {
+            if let Err(i) = self.init_ready.binary_search(&to) {
+                self.init_ready.insert(i, to);
+            }
+        }
+    }
+
+    /// Re-copies the CSR edge costs adjacent to `t` (its predecessor row
+    /// and its successor row) from the graph. Structure must be unchanged.
+    fn refresh_adjacent_edge_costs(&mut self, g: &crate::TaskGraph, t: TaskId) {
+        let (s, e) = self.pred_range(t);
+        for (i, edge) in (s..e).zip(g.predecessors(t)) {
+            debug_assert_eq!(self.pred_task[i], edge.task, "CSR structure drifted");
+            self.pred_cost[i] = edge.cost;
+        }
+        let (s, e) = self.succ_range(t);
+        for (i, edge) in (s..e).zip(g.successors(t)) {
+            debug_assert_eq!(self.succ_task[i], edge.task, "CSR structure drifted");
+            self.succ_cost[i] = edge.cost;
+        }
+    }
+
+    /// Starts recording placements (cleared buffers). Every subsequent
+    /// [`place`](Self::place) appends `(task, node, start)` until
+    /// [`take_recording`](Self::take_recording).
+    pub fn begin_recording(&mut self) {
+        self.rec_task.clear();
+        self.rec_node.clear();
+        self.rec_start.clear();
+        self.recording = true;
+    }
+
+    /// Stops recording and swaps the recorded placement sequence into
+    /// `trace` (the trace's previous buffers come back for reuse), marking
+    /// it valid for the current instance shape.
+    pub fn take_recording(&mut self, trace: &mut RunTrace) {
+        self.recording = false;
+        std::mem::swap(&mut trace.task, &mut self.rec_task);
+        std::mem::swap(&mut trace.node, &mut self.rec_node);
+        std::mem::swap(&mut trace.start, &mut self.rec_start);
+        trace.n_tasks = self.n_tasks;
+        trace.n_nodes = self.n_nodes;
+        trace.valid = true;
     }
 
     /// Rebuilds the instance-derived cost tables and views.
@@ -317,6 +561,15 @@ impl SchedContext {
             self.pred_off.push(self.pred_task.len() as u32);
             self.succ_off.push(self.succ_task.len() as u32);
         }
+        self.init_preds.clear();
+        self.init_ready.clear();
+        for t in 0..g.task_count() {
+            let deg = self.pred_off[t + 1] - self.pred_off[t];
+            self.init_preds.push(deg);
+            if deg == 0 {
+                self.init_ready.push(TaskId(t as u32));
+            }
+        }
     }
 
     /// If `g`'s dependency structure is exactly the cached CSR structure
@@ -362,7 +615,12 @@ impl SchedContext {
         true
     }
 
-    /// Clears the per-run placement state (tables untouched).
+    /// Clears the per-run placement state (tables untouched): an epoch bump
+    /// for the placed flags, straight copies of the cached initial
+    /// predecessor counters and ready set (pure functions of the CSR
+    /// structure, maintained by `rebuild_csr`), and no `finish`/`node_of`
+    /// fills — those entries are never read for tasks unplaced in the
+    /// current epoch.
     fn clear_run_state(&mut self) {
         let nt = self.n_tasks;
         let nv = self.n_nodes;
@@ -371,29 +629,59 @@ impl SchedContext {
             tl.clear();
         }
         set_all(&mut self.max_finish, nv, 0.0);
-        set_all(&mut self.finish, nt, f64::NAN);
-        set_all(&mut self.node_of, nt, NodeId(0));
-        set_all(&mut self.placed, nt, false);
-        self.placed_count = 0;
-        self.unplaced_preds.clear();
-        self.ready.clear();
-        for t in 0..nt {
-            let deg = self.pred_off[t + 1] - self.pred_off[t];
-            self.unplaced_preds.push(deg);
-            if deg == 0 {
-                self.ready.push(TaskId(t as u32));
-            }
+        if self.placed_epoch.len() != nt || self.epoch == u32::MAX {
+            set_all(&mut self.placed_epoch, nt, 0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
         }
+        if self.finish.len() != nt {
+            self.finish.resize(nt, f64::NAN);
+            self.node_of.resize(nt, NodeId(0));
+        }
+        self.placed_count = 0;
+        self.unplaced_preds.clone_from(&self.init_preds);
+        self.ready.clone_from(&self.init_ready);
         self.run_clean = true;
     }
 
     /// Kahn's algorithm with smallest-id tie-breaking, matching
-    /// `TaskGraph::topological_order` exactly. The frontier is a binary
-    /// min-heap over task ids — pop-smallest is the same order the original
-    /// sorted-vector frontier produces, without re-sorting per admission.
+    /// `TaskGraph::topological_order` exactly. For graphs of at most 64
+    /// tasks (every Section-VI/VII annealing instance) the frontier is a
+    /// u64 bitmask — pop-smallest is `trailing_zeros`, admission is a bit
+    /// set — which makes the per-perturbation structural rebuild a handful
+    /// of ALU ops; larger graphs use a binary min-heap over task ids. Both
+    /// frontiers pop tasks in ascending id order, so the emitted order is
+    /// the same deterministic smallest-id Kahn order in all cases.
     fn rebuild_topo(&mut self) {
         use std::cmp::Reverse;
         let nt = self.n_tasks;
+        if nt <= 64 {
+            self.indeg_scratch.clear();
+            self.indeg_scratch.extend_from_slice(&self.init_preds);
+            let mut frontier: u64 = 0;
+            for &t in &self.init_ready {
+                frontier |= 1u64 << t.index();
+            }
+            self.topo.clear();
+            while frontier != 0 {
+                let ti = frontier.trailing_zeros() as usize;
+                frontier &= frontier - 1;
+                let t = TaskId(ti as u32);
+                self.topo.push(t);
+                let (s, e) = self.succ_range(t);
+                for i in s..e {
+                    let st = self.succ_task[i];
+                    let d = &mut self.indeg_scratch[st.index()];
+                    *d -= 1;
+                    if *d == 0 {
+                        frontier |= 1u64 << st.index();
+                    }
+                }
+            }
+            debug_assert_eq!(self.topo.len(), nt, "graph must be acyclic");
+            return;
+        }
         self.indeg_scratch.clear();
         for t in 0..nt {
             self.indeg_scratch
@@ -537,7 +825,7 @@ impl SchedContext {
     /// Whether `t` has been placed.
     #[inline]
     pub fn is_placed(&self, t: TaskId) -> bool {
-        self.placed[t.index()]
+        self.placed_epoch[t.index()] == self.epoch
     }
 
     /// Whether every predecessor of `t` has been placed.
@@ -565,14 +853,14 @@ impl SchedContext {
     /// Panics (debug) if the task has not been placed.
     #[inline]
     pub fn finish_time(&self, t: TaskId) -> f64 {
-        debug_assert!(self.placed[t.index()], "task {t} not placed yet");
+        debug_assert!(self.is_placed(t), "task {t} not placed yet");
         self.finish[t.index()]
     }
 
     /// Node of a placed task.
     #[inline]
     pub fn node_of(&self, t: TaskId) -> NodeId {
-        debug_assert!(self.placed[t.index()], "task {t} not placed yet");
+        debug_assert!(self.is_placed(t), "task {t} not placed yet");
         self.node_of[t.index()]
     }
 
@@ -586,7 +874,11 @@ impl SchedContext {
         let (s, e) = self.pred_range(t);
         for i in s..e {
             let p = self.pred_task[i].index();
-            debug_assert!(self.placed[p], "predecessor {} unplaced", self.pred_task[i]);
+            debug_assert!(
+                self.is_placed(self.pred_task[i]),
+                "predecessor {} unplaced",
+                self.pred_task[i]
+            );
             let arrival = self.finish[p] + self.comm_time(self.pred_cost[i], self.node_of[p], v);
             ready = ready.max(arrival);
         }
@@ -604,7 +896,11 @@ impl SchedContext {
         let (s, e) = self.pred_range(t);
         for i in s..e {
             let p = self.pred_task[i].index();
-            debug_assert!(self.placed[p], "predecessor {} unplaced", self.pred_task[i]);
+            debug_assert!(
+                self.is_placed(self.pred_task[i]),
+                "predecessor {} unplaced",
+                self.pred_task[i]
+            );
             let f = self.finish[p];
             let pn = self.node_of[p].index();
             let cost = self.pred_cost[i];
@@ -683,10 +979,11 @@ impl SchedContext {
 
     /// Current makespan over placed tasks.
     pub fn current_makespan(&self) -> f64 {
+        let epoch = self.epoch;
         self.finish
             .iter()
-            .zip(&self.placed)
-            .filter(|&(_, &p)| p)
+            .zip(&self.placed_epoch)
+            .filter(|&(_, &p)| p == epoch)
             .map(|(&f, _)| f)
             .fold(0.0, f64::max)
     }
@@ -700,8 +997,13 @@ impl SchedContext {
     /// Panics (debug) on double placement. The caller is responsible for a
     /// feasible `start` (as returned by [`eft`](Self::eft)).
     pub fn place(&mut self, t: TaskId, v: NodeId, start: f64) {
-        debug_assert!(!self.placed[t.index()], "task {t} placed twice");
+        debug_assert!(!self.is_placed(t), "task {t} placed twice");
         self.run_clean = false;
+        if self.recording {
+            self.rec_task.push(t);
+            self.rec_node.push(v);
+            self.rec_start.push(start);
+        }
         let duration = self.exec_time(t, v);
         let finish = start + duration;
         let timeline = &mut self.timelines[v.index()];
@@ -718,7 +1020,7 @@ impl SchedContext {
         *mf = mf.max(finish);
         self.finish[t.index()] = finish;
         self.node_of[t.index()] = v;
-        self.placed[t.index()] = true;
+        self.placed_epoch[t.index()] = self.epoch;
         self.placed_count += 1;
         // ready-queue maintenance: remove t, admit newly ready successors
         if let Ok(pos) = self.ready.binary_search(&t) {
@@ -729,7 +1031,7 @@ impl SchedContext {
             let st = self.succ_task[i];
             let d = &mut self.unplaced_preds[st.index()];
             *d -= 1;
-            if *d == 0 && !self.placed[st.index()] {
+            if *d == 0 && self.placed_epoch[st.index()] != self.epoch {
                 if let Err(pos) = self.ready.binary_search(&st) {
                     self.ready.insert(pos, st);
                 }
@@ -755,7 +1057,11 @@ impl SchedContext {
     /// # Panics
     /// Panics (debug) if `t` is not placed or a successor still is.
     pub fn unplace(&mut self, t: TaskId) {
-        debug_assert!(self.placed[t.index()], "task {t} not placed");
+        debug_assert!(self.is_placed(t), "task {t} not placed");
+        debug_assert!(
+            !self.recording,
+            "unplace during placement recording (exact solvers don't record)"
+        );
         self.run_clean = false;
         let v = self.node_of[t.index()];
         let timeline = &mut self.timelines[v.index()];
@@ -765,13 +1071,13 @@ impl SchedContext {
             .expect("placed task missing from its timeline");
         timeline.remove(pos);
         self.max_finish[v.index()] = timeline.iter().map(|s| s.finish).fold(0.0, f64::max);
-        self.placed[t.index()] = false;
+        self.placed_epoch[t.index()] = 0;
         self.finish[t.index()] = f64::NAN;
         self.placed_count -= 1;
         let (s, e) = self.succ_range(t);
         for i in s..e {
             let st = self.succ_task[i];
-            debug_assert!(!self.placed[st.index()], "successor {st} still placed");
+            debug_assert!(!self.is_placed(st), "successor {st} still placed");
             if self.unplaced_preds[st.index()] == 0 {
                 if let Ok(pos) = self.ready.binary_search(&st) {
                     self.ready.remove(pos);

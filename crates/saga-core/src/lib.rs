@@ -18,6 +18,7 @@ mod error;
 pub mod gantt;
 mod graph;
 mod ids;
+pub mod incremental;
 mod instance;
 mod kernel;
 pub mod metrics;
@@ -32,6 +33,7 @@ pub use builder::ScheduleBuilder;
 pub use error::{GraphError, ScheduleError};
 pub use graph::{DepEdge, TaskGraph};
 pub use ids::{NodeId, TaskId};
+pub use incremental::{incremental_enabled, DirtyRegion, RunTrace};
 pub use instance::Instance;
 pub use kernel::SchedContext;
 pub use network::Network;

@@ -72,7 +72,7 @@ fn main() {
     }
     let engine = BatchEngine::new();
     let progress = Progress::new("ablation_search", cells.len());
-    let results = engine.run_cells(&cells, Some(&progress), Some(&checkpoint));
+    let results = engine.run_cells_or_exit(&cells, Some(&progress), Some(&checkpoint));
     let mut results = results.into_iter();
 
     let col_names: Vec<String> = Strategy::ALL.iter().map(|s| s.name().to_string()).collect();

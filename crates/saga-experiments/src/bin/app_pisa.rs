@@ -63,7 +63,7 @@ fn run_workflow(
         );
     }
     let progress = Progress::new(format!("app_pisa/{workflow}"), cells.len());
-    let results = engine.run_cells(&cells, Some(&progress), Some(&checkpoint));
+    let results = engine.run_cells_or_exit(&cells, Some(&progress), Some(&checkpoint));
     let mut results = results.into_iter();
 
     for (ci, &ccr) in ccrs.iter().enumerate() {

@@ -55,7 +55,7 @@ fn main() {
     let engine = BatchEngine::new();
     let progress = Progress::new("fig4", cells.len());
     let t0 = std::time::Instant::now();
-    let results = engine.run_cells(&cells, Some(&progress), Some(&checkpoint));
+    let results = engine.run_cells_or_exit(&cells, Some(&progress), Some(&checkpoint));
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
     let m = PairwiseMatrix::from_cell_results(names, results);
 

@@ -69,7 +69,7 @@ fn main() {
     }
     let engine = BatchEngine::new();
     let progress = Progress::new("metric_pisa", cells.len());
-    let results = engine.run_cells(&cells, Some(&progress), Some(&checkpoint));
+    let results = engine.run_cells_or_exit(&cells, Some(&progress), Some(&checkpoint));
 
     let col_names: Vec<String> = objectives.iter().map(|o| o.name().to_string()).collect();
     let row_names: Vec<String> = pairs.iter().map(|(a, b)| format!("{a} vs {b}")).collect();

@@ -143,24 +143,46 @@ impl BatchEngine {
     /// file as they complete and cells already present (matched by
     /// [`SearchCell::key`]) are replayed instead of re-run — a multi-hour
     /// paper-scale fig4 run survives interruption.
+    ///
+    /// A checkpoint *write* failure (full disk, closed pipe) no longer
+    /// aborts the process mid-grid: cells already in flight finish, cells
+    /// not yet started are skipped (their annealing work would be discarded
+    /// with the error anyway), and the first I/O error is returned — with
+    /// every cell recorded before it already flushed to the file, so a
+    /// `--resume` continues from there.
     pub fn run_cells(
         &self,
         cells: &[SearchCell],
         progress: Option<&Progress>,
         checkpoint: Option<&CellCheckpoint>,
-    ) -> Vec<PisaResult> {
-        cells
+    ) -> std::io::Result<Vec<PisaResult>> {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let write_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+        let failed = AtomicBool::new(false);
+        let results: Vec<Option<PisaResult>> = cells
             .par_iter()
             .map_init(
                 || (self.pool.take(), AnnealScratch::default()),
                 |(ctx, scratch), cell| {
+                    // once a write failed, the run's results can never all be
+                    // returned — don't burn hours annealing cells that would
+                    // be thrown away with the error
+                    if failed.load(Ordering::Relaxed) {
+                        return None;
+                    }
                     let key = cell.key();
                     let res = match checkpoint.and_then(|c| c.stored(&key)) {
                         Some(stored) => stored,
                         None => {
                             let res = cell.run(ctx, scratch);
                             if let Some(c) = checkpoint {
-                                c.record(&key, &res);
+                                if let Err(e) = c.record(&key, &res) {
+                                    let mut slot = write_error.lock().expect("error slot poisoned");
+                                    if slot.is_none() {
+                                        *slot = Some(e);
+                                    }
+                                    failed.store(true, Ordering::Relaxed);
+                                }
                             }
                             res
                         }
@@ -168,10 +190,38 @@ impl BatchEngine {
                     if let Some(p) = progress {
                         p.tick();
                     }
-                    res
+                    Some(res)
                 },
             )
-            .collect()
+            .collect();
+        match write_error.into_inner().expect("error slot poisoned") {
+            Some(e) => Err(e),
+            None => Ok(results
+                .into_iter()
+                .map(|r| r.expect("no cell skipped without a recorded error"))
+                .collect()),
+        }
+    }
+
+    /// [`run_cells`](Self::run_cells) for experiment binaries: a checkpoint
+    /// write failure prints the error — noting that every cell recorded
+    /// before it is already flushed and resumable — and exits nonzero
+    /// instead of returning. Keeps the four PISA drivers' failure behavior
+    /// identical.
+    pub fn run_cells_or_exit(
+        &self,
+        cells: &[SearchCell],
+        progress: Option<&Progress>,
+        checkpoint: Option<&CellCheckpoint>,
+    ) -> Vec<PisaResult> {
+        self.run_cells(cells, progress, checkpoint)
+            .unwrap_or_else(|e| {
+                eprintln!(
+                    "fatal: checkpoint write failed: {e} — cells recorded before the failure \
+                     are flushed; re-run with --resume after freeing space"
+                );
+                std::process::exit(1);
+            })
     }
 
     /// The fused fig2-class dataset loop: cell `k` *generates* instance `k`
@@ -299,15 +349,21 @@ impl CellRecord {
 pub struct CellCheckpoint {
     done: HashMap<String, PisaResult>,
     file: Mutex<std::fs::File>,
+    skipped: usize,
 }
 
 impl CellCheckpoint {
     /// Opens `path` for checkpointing. With `resume`, existing well-formed
     /// lines are loaded for replay and new cells append after them;
     /// otherwise the file is truncated and the run starts clean.
+    ///
+    /// Malformed resume lines are counted ([`skipped`](Self::skipped)) and
+    /// summarized on stderr — a corrupted checkpoint is visible instead of
+    /// quietly re-running its cells.
     pub fn open(path: &std::path::Path, resume: bool) -> std::io::Result<Self> {
         let mut done = HashMap::new();
         let mut unterminated = false;
+        let mut skipped = 0usize;
         if resume {
             match std::fs::read_to_string(path) {
                 Ok(text) => {
@@ -323,12 +379,23 @@ impl CellCheckpoint {
                             Some((key, res)) => {
                                 done.insert(key, res);
                             }
-                            None => eprintln!(
-                                "[checkpoint] skipping malformed line {} of {}",
-                                lineno + 1,
-                                path.display()
-                            ),
+                            None => {
+                                skipped += 1;
+                                eprintln!(
+                                    "[checkpoint] skipping malformed line {} of {}",
+                                    lineno + 1,
+                                    path.display()
+                                );
+                            }
                         }
+                    }
+                    if skipped > 0 {
+                        eprintln!(
+                            "[checkpoint] {} corrupted/unparseable line(s) skipped in {} — \
+                             the affected cells will re-run",
+                            skipped,
+                            path.display()
+                        );
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -355,6 +422,7 @@ impl CellCheckpoint {
         Ok(CellCheckpoint {
             done,
             file: Mutex::new(file),
+            skipped,
         })
     }
 
@@ -363,18 +431,26 @@ impl CellCheckpoint {
         self.done.len()
     }
 
+    /// Number of malformed/unparseable lines skipped while loading for
+    /// resume (0 for a fresh run).
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
     /// The stored result for `key`, if the checkpoint has it.
     pub fn stored(&self, key: &str) -> Option<PisaResult> {
         self.done.get(key).cloned()
     }
 
     /// Appends one finished cell and flushes, so an interruption loses at
-    /// most the cells in flight.
-    pub fn record(&self, key: &str, res: &PisaResult) {
+    /// most the cells in flight. An I/O failure (full disk, closed pipe) is
+    /// returned instead of panicking, so the driver can finish the batch
+    /// and surface the error with everything already recorded still intact.
+    pub fn record(&self, key: &str, res: &PisaResult) -> std::io::Result<()> {
         let line = serde_json::to_string(&CellRecord::new(key, res)).expect("record serializes");
         let mut file = self.file.lock().expect("checkpoint file poisoned");
-        writeln!(file, "{line}").expect("write checkpoint line");
-        file.flush().expect("flush checkpoint");
+        writeln!(file, "{line}")?;
+        file.flush()
     }
 }
 
@@ -484,7 +560,7 @@ mod tests {
     fn run_cells_matches_the_pooled_runner_bit_for_bit() {
         let cells = quick_cells();
         let engine = BatchEngine::new();
-        let a = engine.run_cells(&cells, None, None);
+        let a = engine.run_cells(&cells, None, None).unwrap();
         let b = saga_pisa::run_cells_pooled(&cells);
         for ((cell, x), y) in cells.iter().zip(&a).zip(&b) {
             assert_eq!(x.ratio.to_bits(), y.ratio.to_bits(), "{}", cell.label);
@@ -502,11 +578,11 @@ mod tests {
         ));
         let _ = std::fs::remove_file(&path);
         let ck = CellCheckpoint::open(&path, false).unwrap();
-        let fresh = engine.run_cells(&cells, None, Some(&ck));
+        let fresh = engine.run_cells(&cells, None, Some(&ck)).unwrap();
         drop(ck);
         let ck = CellCheckpoint::open(&path, true).unwrap();
         assert_eq!(ck.loaded(), cells.len());
-        let replayed = engine.run_cells(&cells, None, Some(&ck));
+        let replayed = engine.run_cells(&cells, None, Some(&ck)).unwrap();
         for ((cell, a), b) in cells.iter().zip(&fresh).zip(&replayed) {
             assert_eq!(a.ratio.to_bits(), b.ratio.to_bits(), "{}", cell.label);
             assert_eq!(
@@ -529,7 +605,7 @@ mod tests {
             std::env::temp_dir().join(format!("saga_ckpt_test_{}_torn.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&path);
         let ck = CellCheckpoint::open(&path, false).unwrap();
-        engine.run_cells(&cells[..2], None, Some(&ck));
+        engine.run_cells(&cells[..2], None, Some(&ck)).unwrap();
         drop(ck);
         // simulate a crash mid-append
         {
@@ -542,6 +618,11 @@ mod tests {
         }
         let ck = CellCheckpoint::open(&path, true).unwrap();
         assert_eq!(ck.loaded(), 2, "torn line must be dropped, good ones kept");
+        assert_eq!(
+            ck.skipped(),
+            1,
+            "the torn line must be counted and reported"
+        );
         // a different budget produces different keys: nothing replays
         let mut other = quick_cells();
         for c in &mut other {
@@ -550,7 +631,7 @@ mod tests {
         assert!(ck.stored(&other[0].key()).is_none());
         // appending after the tear must start a fresh line — the remaining
         // cells recorded now have to survive another resume intact
-        engine.run_cells(&cells, None, Some(&ck));
+        engine.run_cells(&cells, None, Some(&ck)).unwrap();
         drop(ck);
         let ck = CellCheckpoint::open(&path, true).unwrap();
         assert_eq!(

@@ -10,11 +10,11 @@
 //! * [`Strategy::RandomWalk`] — accept every perturbation (best-so-far is
 //!   still tracked, so this is random search through instance space).
 
-use crate::annealer::{AnnealScratch, Pisa, PisaConfig, PisaResult};
+use crate::annealer::{AnnealScratch, PairTraces, Pisa, PisaConfig, PisaResult};
 use crate::perturb::Perturber;
 use rand::rngs::StdRng;
 use rand::Rng;
-use saga_core::Instance;
+use saga_core::{incremental_enabled, DirtyRegion, Instance};
 use saga_schedulers::Scheduler;
 
 /// An adversarial-search acceptance strategy.
@@ -93,9 +93,12 @@ pub fn search_in(
     if strategy == Strategy::Annealing {
         return pisa.run_in(ctx, scratch, init);
     }
-    crate::annealer::best_over_restarts(config, init, scratch, |start, rng, scratch| {
-        run_flat(&pisa, start, rng, strategy, ctx, scratch)
-    })
+    let mut traces = std::mem::take(&mut scratch.traces);
+    let res = crate::annealer::best_over_restarts(config, init, scratch, |start, rng, scratch| {
+        run_flat(&pisa, start, rng, strategy, ctx, &mut traces, scratch)
+    });
+    scratch.traces = traces;
+    res
 }
 
 /// Temperature-free search loop, budget-matched to the annealing run (which
@@ -108,12 +111,14 @@ fn run_flat(
     rng: &mut StdRng,
     strategy: Strategy,
     ctx: &mut saga_core::SchedContext,
+    traces: &mut PairTraces,
     scratch: &mut AnnealScratch,
 ) -> (f64, f64, usize) {
     let cfg = &pisa.config;
     let natural = ((cfg.t_min / cfg.t_max).ln() / cfg.alpha.ln()).ceil() as usize;
     let iters = natural.min(cfg.i_max);
-    let initial_ratio = pisa.ratio_with(start, ctx);
+    let force_full = !incremental_enabled();
+    let initial_ratio = pisa.ratio_incremental(start, ctx, traces, &DirtyRegion::full());
     let mut evaluations = 1;
     crate::annealer::fill(&mut scratch.current, start);
     crate::annealer::fill(&mut scratch.candidate, start);
@@ -123,6 +128,9 @@ fn run_flat(
     let best = scratch.best.as_mut().expect("filled above");
     let mut cur_ratio = initial_ratio;
     let mut best_ratio = initial_ratio;
+    // dirt accumulated since the traces' last evaluation — same protocol
+    // as the annealing loop's (see `run_annealing`)
+    let mut pending = DirtyRegion::clean();
     for _ in 0..iters {
         let accepts = |r: f64, cur: f64| match strategy {
             Strategy::HillClimb => r > cur,
@@ -131,8 +139,16 @@ fn run_flat(
         };
         // in-place fast path with bitwise undo, mirroring the annealer's
         if let Some(undo) = pisa.perturber.perturb_undoable(current, rng) {
-            let r = pisa.ratio_with(current, ctx);
+            let dirty = if force_full {
+                DirtyRegion::full()
+            } else {
+                let mut d = undo.dirty_region();
+                d.merge(&pending);
+                d
+            };
+            let r = pisa.ratio_incremental(current, ctx, traces, &dirty);
             evaluations += 1;
+            pending = DirtyRegion::clean();
             if r > best_ratio {
                 best.clone_from(current);
                 best_ratio = r;
@@ -141,11 +157,12 @@ fn run_flat(
                 cur_ratio = r;
             } else {
                 undo.revert(current);
+                pending = undo.revert_dirty_region();
             }
         } else {
             candidate.clone_from(current);
             pisa.perturber.perturb(candidate, rng);
-            let r = pisa.ratio_with(candidate, ctx);
+            let r = pisa.ratio_incremental(candidate, ctx, traces, &DirtyRegion::full());
             evaluations += 1;
             if r > best_ratio {
                 best.clone_from(candidate);
@@ -154,6 +171,9 @@ fn run_flat(
             if accepts(r, cur_ratio) {
                 std::mem::swap(current, candidate);
                 cur_ratio = r;
+                pending = DirtyRegion::clean();
+            } else {
+                pending = DirtyRegion::full();
             }
         }
     }

@@ -4,7 +4,7 @@ use crate::makespan_ratio;
 use crate::perturb::Perturber;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use saga_core::{Instance, SchedContext};
+use saga_core::{incremental_enabled, DirtyRegion, Instance, RunTrace, SchedContext};
 use saga_schedulers::Scheduler;
 
 /// Annealing-schedule constants. Defaults are exactly the paper's:
@@ -65,17 +65,30 @@ pub struct PisaResult {
     pub evaluations: usize,
 }
 
+/// The two per-scheduler run traces an adversarial pair evaluation carries
+/// between annealing iterations: the target's and the baseline's recorded
+/// previous runs, replayed incrementally when the perturbation's dirty
+/// region allows (see [`Pisa::ratio_incremental`]).
+#[derive(Debug, Default)]
+pub struct PairTraces {
+    /// The target scheduler's recorded run.
+    pub target: RunTrace,
+    /// The baseline scheduler's recorded run.
+    pub baseline: RunTrace,
+}
+
 /// Reusable instance slots for the annealing loop. A search keeps four
 /// persistent instances (current, candidate, per-run best, cross-restart
-/// best); borrowing them from the caller lets a batch runner amortize the
-/// buffers across every restart of every cell a worker executes, instead of
-/// reallocating them per run.
+/// best) plus the pair's two run traces; borrowing them from the caller
+/// lets a batch runner amortize the buffers across every restart of every
+/// cell a worker executes, instead of reallocating them per run.
 #[derive(Debug, Default)]
 pub struct AnnealScratch {
     pub(crate) current: Option<Instance>,
     pub(crate) candidate: Option<Instance>,
     pub(crate) best: Option<Instance>,
     pub(crate) best_overall: Option<Instance>,
+    pub(crate) traces: PairTraces,
 }
 
 /// Copies `src` into `slot`, reusing the slot's buffers when warm.
@@ -118,6 +131,37 @@ impl Pisa<'_> {
         makespan_ratio(a, b)
     }
 
+    /// [`ratio_with`](Self::ratio_with) with incremental delta-evaluation:
+    /// `dirty` describes everything that changed in `inst` since the last
+    /// call with these `traces` (the annealer derives it from the
+    /// perturbation undo records), the kernel refreshes exactly the stale
+    /// cost-table pieces, and each scheduler replays the unchanged prefix
+    /// of its recorded previous run. Value-identical to `ratio_with` by
+    /// construction (and pinned by the golden PISA-cell fixture); a
+    /// [`DirtyRegion::full`] region *is* `ratio_with` plus trace recording.
+    pub fn ratio_incremental(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        traces: &mut PairTraces,
+        dirty: &DirtyRegion,
+    ) -> f64 {
+        // No ratio-level clean shortcut: a composite scheduler's outer trace
+        // holds its first *component's* makespan (Duplex stores MinMin there
+        // and MaxMin in the sub-trace), so the per-scheduler clean skips
+        // inside `makespan_incremental` — which compose correctly — are the
+        // ones that handle an unchanged instance.
+        ctx.pin_tables_dirty(inst, dirty);
+        let a = self
+            .target
+            .makespan_incremental(inst, ctx, &mut traces.target, dirty);
+        let b = self
+            .baseline
+            .makespan_incremental(inst, ctx, &mut traces.baseline, dirty);
+        ctx.unpin_tables();
+        makespan_ratio(a, b)
+    }
+
     /// Runs all restarts from initial instances produced by `init` and
     /// returns the best result.
     ///
@@ -141,13 +185,16 @@ impl Pisa<'_> {
         scratch: &mut AnnealScratch,
         init: &dyn Fn(&mut StdRng) -> Instance,
     ) -> PisaResult {
-        maximize_in(
-            &mut |inst| self.ratio_with(inst, ctx),
+        let mut traces = std::mem::take(&mut scratch.traces);
+        let res = maximize_in(
+            &mut |inst, dirty| self.ratio_incremental(inst, ctx, &mut traces, dirty),
             self.perturber,
             self.config,
             init,
             scratch,
-        )
+        );
+        scratch.traces = traces;
+        res
     }
 
     /// One annealing run from a fixed initial instance.
@@ -174,15 +221,28 @@ pub fn maximize(
     init: &dyn Fn(&mut StdRng) -> Instance,
 ) -> PisaResult {
     let mut scratch = AnnealScratch::default();
-    maximize_in(objective, perturber, config, init, &mut scratch)
+    maximize_in(
+        &mut |inst, _| objective(inst),
+        perturber,
+        config,
+        init,
+        &mut scratch,
+    )
 }
 
 /// [`maximize`] with caller-provided scratch instances: all restarts (and,
 /// for a worker thread, all cells) share one set of instance buffers. The
 /// winning restart's best instance is kept in the scratch and cloned out
 /// exactly once, into the returned [`PisaResult`].
+///
+/// The objective receives, alongside the instance, the [`DirtyRegion`]
+/// covering everything that changed since the objective's *previous* call
+/// in this search (the first call of each restart gets
+/// [`DirtyRegion::full`]) — incremental objectives like
+/// [`Pisa::ratio_incremental`] reuse their recorded runs through it, and
+/// plain objectives simply ignore it.
 pub fn maximize_in(
-    objective: &mut dyn FnMut(&Instance) -> f64,
+    objective: &mut dyn FnMut(&Instance, &DirtyRegion) -> f64,
     perturber: &dyn Perturber,
     config: PisaConfig,
     init: &dyn Fn(&mut StdRng) -> Instance,
@@ -242,8 +302,14 @@ pub fn maximize_once(
     rng: &mut StdRng,
 ) -> PisaResult {
     let mut scratch = AnnealScratch::default();
-    let (ratio, initial_ratio, evaluations) =
-        run_annealing(objective, perturber, config, &start, rng, &mut scratch);
+    let (ratio, initial_ratio, evaluations) = run_annealing(
+        &mut |inst, _| objective(inst),
+        perturber,
+        config,
+        &start,
+        rng,
+        &mut scratch,
+    );
     PisaResult {
         instance: scratch.best.expect("run stores its best instance"),
         ratio,
@@ -258,14 +324,18 @@ pub fn maximize_once(
 /// allocation at all. Returns `(best ratio, initial ratio, evaluations)`;
 /// the best instance is left in `scratch.best`.
 fn run_annealing(
-    objective: &mut dyn FnMut(&Instance) -> f64,
+    objective: &mut dyn FnMut(&Instance, &DirtyRegion) -> f64,
     perturber: &dyn Perturber,
     config: PisaConfig,
     start: &Instance,
     rng: &mut StdRng,
     scratch: &mut AnnealScratch,
 ) -> (f64, f64, usize) {
-    let initial_ratio = objective(start);
+    // `SAGA_NO_INCREMENTAL` forces every evaluation down the full-rebuild
+    // path (value-identical by construction; CI diffs the golden suites
+    // under both settings).
+    let force_full = !incremental_enabled();
+    let initial_ratio = objective(start, &DirtyRegion::full());
     let mut evaluations = 1;
     fill(&mut scratch.current, start);
     fill(&mut scratch.candidate, start);
@@ -275,6 +345,12 @@ fn run_annealing(
     let best = scratch.best.as_mut().expect("filled above");
     let mut cur_ratio = initial_ratio;
     let mut best_ratio = initial_ratio;
+    // Everything that changed in `current` since the objective last saw an
+    // instance: empty after an evaluation is accepted (the traces describe
+    // exactly the accepted state), the revert's own dirty region after a
+    // rejection (the traces describe the rejected candidate, one
+    // perturbation away from `current`).
+    let mut pending = DirtyRegion::clean();
 
     let mut t = config.t_max;
     let mut iter = 0;
@@ -285,8 +361,16 @@ fn run_annealing(
         // the clone-based fallback would, so both paths are value-identical
         // (the golden PISA-cell fixture pins this).
         if let Some(undo) = perturber.perturb_undoable(current, rng) {
-            let r = objective(current);
+            let dirty = if force_full {
+                DirtyRegion::full()
+            } else {
+                let mut d = undo.dirty_region();
+                d.merge(&pending);
+                d
+            };
+            let r = objective(current, &dirty);
             evaluations += 1;
+            pending = DirtyRegion::clean();
             if r > best_ratio {
                 best.clone_from(current);
                 best_ratio = r;
@@ -295,20 +379,26 @@ fn run_annealing(
                 cur_ratio = r;
             } else {
                 undo.revert(current);
+                pending = undo.revert_dirty_region();
             }
         } else {
             candidate.clone_from(current);
             perturber.perturb(candidate, rng);
-            let r = objective(candidate);
+            // an opaque perturbation: nothing is known about what moved
+            let r = objective(candidate, &DirtyRegion::full());
             evaluations += 1;
             if r > best_ratio {
                 best.clone_from(candidate);
                 best_ratio = r;
                 std::mem::swap(current, candidate);
                 cur_ratio = r;
+                pending = DirtyRegion::clean();
             } else if accept(cur_ratio, r, t, rng) {
                 std::mem::swap(current, candidate);
                 cur_ratio = r;
+                pending = DirtyRegion::clean();
+            } else {
+                pending = DirtyRegion::full();
             }
         }
         t *= config.alpha;

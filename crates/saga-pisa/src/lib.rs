@@ -35,7 +35,7 @@ pub mod pairwise;
 pub mod perturb;
 pub mod runner;
 
-pub use annealer::{AnnealScratch, Pisa, PisaConfig, PisaResult};
+pub use annealer::{AnnealScratch, PairTraces, Pisa, PisaConfig, PisaResult};
 pub use pairwise::{pairwise_cells, pairwise_matrix, PairwiseMatrix};
 pub use perturb::{GeneralPerturber, Perturber};
 pub use runner::{cell_config, run_cells_pooled, CellKind, SearchCell};

@@ -5,12 +5,12 @@
 //! throughput, where larger is better), pluggable into the
 //! [`maximize`](crate::annealer::maximize()) generic annealer.
 
-use crate::annealer::{maximize_in, AnnealScratch, PisaConfig, PisaResult};
+use crate::annealer::{maximize_in, AnnealScratch, PairTraces, PisaConfig, PisaResult};
 use crate::makespan_ratio;
 use crate::perturb::Perturber;
 use rand::rngs::StdRng;
 use saga_core::metrics::{energy, rental_cost, throughput, EnergyModel};
-use saga_core::Instance;
+use saga_core::{DirtyRegion, Instance};
 use saga_schedulers::Scheduler;
 
 /// The schedule-quality metric being compared adversarially.
@@ -86,10 +86,35 @@ impl Objective {
         let ts = target.schedule_into(inst, ctx);
         let bs = baseline.schedule_into(inst, ctx);
         ctx.unpin_tables();
+        self.compose(inst, &ts, &bs)
+    }
+
+    /// [`Objective::ratio_with`] with incremental delta-evaluation: the
+    /// kernel refreshes only the table pieces `dirty` names and both
+    /// schedulers replay the unchanged prefix of their recorded runs before
+    /// materializing the (bit-identical) schedules the metric needs.
+    pub fn ratio_incremental(
+        self,
+        target: &dyn Scheduler,
+        baseline: &dyn Scheduler,
+        inst: &Instance,
+        ctx: &mut saga_core::SchedContext,
+        traces: &mut PairTraces,
+        dirty: &DirtyRegion,
+    ) -> f64 {
+        ctx.pin_tables_dirty(inst, dirty);
+        let ts = target.schedule_incremental_into(inst, ctx, &mut traces.target, dirty);
+        let bs = baseline.schedule_incremental_into(inst, ctx, &mut traces.baseline, dirty);
+        ctx.unpin_tables();
+        self.compose(inst, &ts, &bs)
+    }
+
+    /// The adversarial ratio from the two materialized schedules.
+    fn compose(self, inst: &Instance, ts: &saga_core::Schedule, bs: &saga_core::Schedule) -> f64 {
         let (a, b) = match self {
             // larger throughput is better: invert
-            Objective::Throughput => (self.evaluate(inst, &bs), self.evaluate(inst, &ts)),
-            _ => (self.evaluate(inst, &ts), self.evaluate(inst, &bs)),
+            Objective::Throughput => (self.evaluate(inst, bs), self.evaluate(inst, ts)),
+            _ => (self.evaluate(inst, ts), self.evaluate(inst, bs)),
         };
         makespan_ratio(a, b)
     }
@@ -132,13 +157,18 @@ pub fn metric_search_in(
     ctx: &mut saga_core::SchedContext,
     scratch: &mut AnnealScratch,
 ) -> PisaResult {
-    maximize_in(
-        &mut |inst| objective.ratio_with(target, baseline, inst, ctx),
+    let mut traces = std::mem::take(&mut scratch.traces);
+    let res = maximize_in(
+        &mut |inst, dirty| {
+            objective.ratio_incremental(target, baseline, inst, ctx, &mut traces, dirty)
+        },
         perturber,
         config,
         init,
         scratch,
-    )
+    );
+    scratch.traces = traces;
+    res
 }
 
 #[cfg(test)]

@@ -64,6 +64,43 @@ pub enum PerturbUndo {
 }
 
 impl PerturbUndo {
+    /// The [`DirtyRegion`](saga_core::DirtyRegion) this perturbation (or
+    /// its revert — the region is symmetric) leaves behind: what an
+    /// incremental re-evaluation must treat as changed. Network edits dirty
+    /// everything (every execution or communication time may have moved);
+    /// graph edits are local — a task's execution row, a dependency's
+    /// destination, or (for structural edits) the destination plus the
+    /// graph's structure.
+    pub fn dirty_region(&self) -> saga_core::DirtyRegion {
+        use saga_core::DirtyRegion;
+        match *self {
+            PerturbUndo::Nothing => DirtyRegion::clean(),
+            PerturbUndo::NodeWeight(v, _) => DirtyRegion::node_weight(v),
+            PerturbUndo::EdgeWeight(u, v, _) => DirtyRegion::link_weight(u, v),
+            PerturbUndo::TaskWeight(t, _) => DirtyRegion::task_weight(t),
+            PerturbUndo::DepWeight(a, b, _) => DirtyRegion::dep_weight(a, b),
+            PerturbUndo::AddDep(a, b) => DirtyRegion::structural_edit(a, b, true),
+            PerturbUndo::RemoveDep { from, to, .. } => {
+                DirtyRegion::structural_edit(from, to, false)
+            }
+        }
+    }
+
+    /// The [`DirtyRegion`](saga_core::DirtyRegion) left behind by
+    /// [`revert`](Self::revert)ing this perturbation. Weight and network
+    /// edits are symmetric; structural reverts flip direction — popping an
+    /// added edge is a removal, and restoring a removed edge re-inserts it
+    /// at its *original* adjacency positions, which no single splice
+    /// describes, so that case asks for a CSR rebuild.
+    pub fn revert_dirty_region(&self) -> saga_core::DirtyRegion {
+        use saga_core::DirtyRegion;
+        match *self {
+            PerturbUndo::AddDep(a, b) => DirtyRegion::structural_edit(a, b, false),
+            PerturbUndo::RemoveDep { to, .. } => DirtyRegion::structural_rebuild(to),
+            _ => self.dirty_region(),
+        }
+    }
+
     /// Restores the perturbed instance to its exact pre-perturbation state.
     pub fn revert(self, inst: &mut Instance) {
         match self {

@@ -143,14 +143,29 @@ impl SearchCell {
         }
     }
 
-    /// The cell's checkpoint identity: label plus every budget knob that
-    /// changes its result. A resumed run only reuses a stored cell when the
-    /// key matches exactly, so changing `--imax`/`--restarts`/`--seed`
-    /// invalidates stale checkpoint lines instead of silently reusing them.
+    /// The cell's checkpoint identity: label, every budget knob, and a
+    /// digest of the *full* cell configuration. A resumed run only reuses a
+    /// stored cell when the key matches exactly, so changing
+    /// `--imax`/`--restarts`/`--seed` invalidates stale checkpoint lines —
+    /// and so do config differences the label alone can't see (two `Metric`
+    /// cells with different `Energy` parameters share a label; so do cells
+    /// differing only in `t_max`/`t_min`/`alpha`). Without the digest such
+    /// cells would falsely replay each other's stored result on `--resume`.
     pub fn key(&self) -> String {
+        let cfg = format!(
+            "{:?}|{:016x}|{:016x}|{:016x}",
+            self.kind,
+            self.config.t_max.to_bits(),
+            self.config.t_min.to_bits(),
+            self.config.alpha.to_bits()
+        );
         format!(
-            "{}#i{}r{}s{:016x}",
-            self.label, self.config.i_max, self.config.restarts, self.config.seed
+            "{}#i{}r{}s{:016x}#c{:016x}",
+            self.label,
+            self.config.i_max,
+            self.config.restarts,
+            self.config.seed,
+            fnv1a(cfg.as_bytes())
         )
     }
 
@@ -230,6 +245,18 @@ impl SearchCell {
             ),
         }
     }
+}
+
+/// FNV-1a over the canonical cell-config string — stable, dependency-free,
+/// and collision-resistant enough for checkpoint keys (a collision would
+/// additionally need identical label, budget and seed).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Derives cell `index`'s config from a base config: same budget, own seed.
@@ -347,6 +374,42 @@ mod tests {
                 cell.label
             );
         }
+    }
+
+    #[test]
+    fn keys_distinguish_same_label_different_config() {
+        // regression: two Energy cells share the label "metric/energy/..."
+        // but differ in their objective parameters — before the key carried
+        // a config digest, a resumed run would replay one cell's stored
+        // result for the other
+        let a = SearchCell::metric(
+            Objective::Energy {
+                idle_fraction: 0.2,
+                comm_energy_per_unit: 1.0,
+            },
+            "HEFT",
+            "CPoP",
+            quick(1),
+        );
+        let b = SearchCell::metric(
+            Objective::Energy {
+                idle_fraction: 0.4,
+                comm_energy_per_unit: 1.0,
+            },
+            "HEFT",
+            "CPoP",
+            quick(1),
+        );
+        assert_eq!(a.label, b.label, "the label alone cannot tell them apart");
+        assert_ne!(a.key(), b.key(), "the key digest must");
+        // annealing-schedule knobs outside the label/budget fields count too
+        let mut warm = quick(1);
+        warm.t_max = 20.0;
+        let c = SearchCell::pair("HEFT", "CPoP", quick(1));
+        let d = SearchCell::pair("HEFT", "CPoP", warm);
+        assert_ne!(c.key(), d.key());
+        // and equal configs still agree
+        assert_eq!(a.key(), a.clone().key());
     }
 
     #[test]

@@ -18,8 +18,8 @@
 //! above (documented deviation — it affects only dense tie situations).
 //! Complexity `O(|T|^2 |V| log |V|)` per the original analysis.
 
-use crate::KernelRun;
-use saga_core::{Instance, NodeId, SchedContext, TaskId};
+use crate::{util, KernelRun};
+use saga_core::{DirtyRegion, Instance, NodeId, RunTrace, SchedContext, TaskId};
 
 /// The BIL scheduler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -52,6 +52,41 @@ fn bil_table_into(ctx: &SchedContext, out: &mut Vec<f64>) {
     }
 }
 
+/// BIL's selection loop from whatever partial state `ctx` is in.
+fn bil_loop(ctx: &mut SchedContext, bil: &[f64]) {
+    let n = ctx.task_count();
+    let nv = ctx.node_count();
+    while ctx.placed_count() < n {
+        // priority of a ready task: its best (minimum over nodes) BIM;
+        // the task with the largest best-BIM is the most urgent
+        let mut chosen: Option<(TaskId, NodeId, f64, f64)> = None;
+        for &t in ctx.ready() {
+            let mut best_node: Option<(NodeId, f64, f64)> = None; // (v, start, bim)
+            for v in ctx.nodes() {
+                let (s, _) = ctx.eft(t, v, false);
+                let bim = s + bil[t.index() * nv + v.index()];
+                let better = match best_node {
+                    None => true,
+                    Some((_, _, bb)) => bim < bb,
+                };
+                if better {
+                    best_node = Some((v, s, bim));
+                }
+            }
+            let (v, s, bim) = best_node.expect("non-empty network");
+            let better = match chosen {
+                None => true,
+                Some((ct, _, _, cb)) => bim > cb || (bim == cb && t < ct),
+            };
+            if better {
+                chosen = Some((t, v, s, bim));
+            }
+        }
+        let (t, v, s, _) = chosen.expect("ready set cannot be empty in a DAG");
+        ctx.place(t, v, s);
+    }
+}
+
 impl KernelRun for Bil {
     fn kernel_name(&self) -> &'static str {
         "BIL"
@@ -61,37 +96,49 @@ impl KernelRun for Bil {
         ctx.reset(inst);
         let mut bil = ctx.take_f64();
         bil_table_into(ctx, &mut bil);
-        let n = ctx.task_count();
-        let nv = ctx.node_count();
-        while ctx.placed_count() < n {
-            // priority of a ready task: its best (minimum over nodes) BIM;
-            // the task with the largest best-BIM is the most urgent
-            let mut chosen: Option<(TaskId, NodeId, f64, f64)> = None;
-            for &t in ctx.ready() {
-                let mut best_node: Option<(NodeId, f64, f64)> = None; // (v, start, bim)
-                for v in ctx.nodes() {
-                    let (s, _) = ctx.eft(t, v, false);
-                    let bim = s + bil[t.index() * nv + v.index()];
-                    let better = match best_node {
-                        None => true,
-                        Some((_, _, bb)) => bim < bb,
-                    };
-                    if better {
-                        best_node = Some((v, s, bim));
-                    }
-                }
-                let (v, s, bim) = best_node.expect("non-empty network");
-                let better = match chosen {
-                    None => true,
-                    Some((ct, _, _, cb)) => bim > cb || (bim == cb && t < ct),
-                };
-                if better {
-                    chosen = Some((t, v, s, bim));
+        bil_loop(ctx, &bil);
+        ctx.give_f64(bil);
+    }
+
+    fn run_recorded(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut RunTrace,
+        dirty: &DirtyRegion,
+    ) {
+        ctx.reset(inst);
+        let mut bil = ctx.take_f64();
+        bil_table_into(ctx, &mut bil);
+        ctx.begin_recording();
+        // a ready task's BIM folds its whole BIL row into the selection, so
+        // the replay additionally stops once a task whose BIL row bits
+        // changed since the recorded run sits in the frontier
+        if !dirty.is_full()
+            && trace.matches(ctx.task_count(), ctx.node_count())
+            && trace.aux().len() == bil.len()
+        {
+            let nv = ctx.node_count();
+            let mut changed = ctx.take_tasks();
+            for t in 0..ctx.task_count() {
+                if bil[t * nv..(t + 1) * nv]
+                    .iter()
+                    .zip(&trace.aux()[t * nv..(t + 1) * nv])
+                    .any(|(a, b)| a.to_bits() != b.to_bits())
+                {
+                    changed.push(TaskId(t as u32));
                 }
             }
-            let (t, v, s, _) = chosen.expect("ready set cannot be empty in a DAG");
-            ctx.place(t, v, s);
+            util::replay_frontier_prefix(ctx, trace, dirty, true, |ctx, _| {
+                changed
+                    .iter()
+                    .any(|&t| !ctx.is_placed(t) && ctx.is_ready(t))
+            });
+            ctx.give_tasks(changed);
         }
+        bil_loop(ctx, &bil);
+        ctx.take_recording(trace);
+        trace.set_aux(&bil);
         ctx.give_f64(bil);
     }
 }

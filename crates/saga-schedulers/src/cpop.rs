@@ -8,41 +8,83 @@
 //! earliest finish time, as in HEFT. Complexity `O(|T|^2 |V|)`.
 
 use crate::{util, KernelRun};
-use saga_core::{Instance, SchedContext};
+use saga_core::{DirtyRegion, Instance, RunTrace, SchedContext, TaskId};
 
 /// The CPoP scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Cpop;
 
-impl KernelRun for Cpop {
-    fn kernel_name(&self) -> &'static str {
-        "CPoP"
-    }
+/// The highest-priority ready task (CPoP's per-step selection): maximum
+/// `prio`, smaller id on ties. Shared by the full run and the incremental
+/// replay verification so the two paths can never diverge on tie order.
+fn select(ctx: &SchedContext, prio: &impl Fn(TaskId) -> f64) -> TaskId {
+    *ctx.ready()
+        .iter()
+        .max_by(|&&a, &&c| prio(a).total_cmp(&prio(c)).then(c.cmp(&a)))
+        .expect("ready set cannot be empty in a DAG")
+}
 
-    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+/// Critical-path membership from a priority and the critical length
+/// (matches `ranking::critical_path`'s tolerance rule).
+fn on_path(prio: f64, length: f64, tol: f64) -> bool {
+    (prio - length).abs() <= tol || prio.is_infinite() && length.is_infinite()
+}
+
+impl Cpop {
+    /// The run body, optionally replaying a recorded trace first. The
+    /// priority vector and critical length are always recomputed fresh;
+    /// the replay re-applies a recorded placement only while (a) the fresh
+    /// selection rule picks the same task, (b) that task's own placement
+    /// inputs are untouched, and (c) its critical-path membership — which
+    /// decides the placement *branch* — is unchanged between the recorded
+    /// priorities (kept in the trace's aux row) and the fresh ones.
+    fn run_impl(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        mut replay: Option<(&mut RunTrace, &DirtyRegion)>,
+    ) {
         ctx.reset(inst);
         let mut up = ctx.take_f64();
         let mut down = ctx.take_f64();
         ctx.upward_ranks_into(&mut up);
         ctx.downward_ranks_into(&mut down);
-        // critical-path membership, evaluated lazily from the rank sums
-        // (matches `ranking::critical_path`'s tolerance rule)
-        let length = SchedContext::critical_length(&up, &down);
+        // fold the two rank vectors into one priority vector up front: the
+        // selection loop compares priorities O(ready) times per step, and
+        // the summed vector doubles as the trace's aux row (same `u + d`
+        // adds, in the same order, as the lazy per-query form)
+        for (i, a) in up.iter_mut().enumerate() {
+            *a += down[i];
+        }
+        let length = up
+            .iter()
+            .fold(0.0f64, |acc, &l| if l > acc { l } else { acc });
         let tol = 1e-9 * length.abs().max(1.0);
         let cp_node = ctx.fastest_node();
-        let prio = |t: saga_core::TaskId| up[t.index()] + down[t.index()];
-        let on_path = |t: saga_core::TaskId| {
-            (prio(t) - length).abs() <= tol || prio(t).is_infinite() && length.is_infinite()
-        };
+        let prio = |t: TaskId| up[t.index()];
 
         let n = ctx.task_count();
+        if let Some((trace, dirty)) = replay.as_mut() {
+            ctx.begin_recording();
+            if !dirty.is_full() && trace.matches(n, ctx.node_count()) && trace.aux().len() == n {
+                let old_length = trace.aux_scalar();
+                let old_tol = 1e-9 * old_length.abs().max(1.0);
+                for k in 0..n {
+                    let t = select(ctx, &prio);
+                    if t != trace.task(k)
+                        || dirty.contains(t)
+                        || on_path(prio(t), length, tol)
+                            != on_path(trace.aux()[t.index()], old_length, old_tol)
+                    {
+                        break;
+                    }
+                    ctx.place(t, trace.node(k), trace.start(k));
+                }
+            }
+        }
         while ctx.placed_count() < n {
-            let &t = ctx
-                .ready()
-                .iter()
-                .max_by(|&&a, &&c| prio(a).total_cmp(&prio(c)).then(c.cmp(&a)))
-                .expect("ready set cannot be empty in a DAG");
-            if on_path(t) {
+            let t = select(ctx, &prio);
+            if on_path(prio(t), length, tol) {
                 let (s, _) = ctx.eft(t, cp_node, true);
                 ctx.place(t, cp_node, s);
             } else {
@@ -50,8 +92,33 @@ impl KernelRun for Cpop {
                 ctx.place(t, v, s);
             }
         }
+        if let Some((trace, _)) = replay {
+            ctx.take_recording(trace);
+            trace.set_aux_scalar(length);
+            trace.set_aux(&up);
+        }
         ctx.give_f64(up);
         ctx.give_f64(down);
+    }
+}
+
+impl KernelRun for Cpop {
+    fn kernel_name(&self) -> &'static str {
+        "CPoP"
+    }
+
+    fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
+        self.run_impl(inst, ctx, None);
+    }
+
+    fn run_recorded(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut RunTrace,
+        dirty: &DirtyRegion,
+    ) {
+        self.run_impl(inst, ctx, Some((trace, dirty)));
     }
 }
 

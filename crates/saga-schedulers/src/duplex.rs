@@ -2,7 +2,7 @@
 //! schedule. Inherits whichever extreme suits the workload.
 
 use crate::{MaxMin, MinMin, Scheduler};
-use saga_core::{Instance, SchedContext, Schedule};
+use saga_core::{DirtyRegion, Instance, RunTrace, SchedContext, Schedule};
 
 /// The Duplex scheduler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,6 +28,45 @@ impl Scheduler for Duplex {
         let a = MinMin.makespan_into(inst, ctx);
         let b = MaxMin.makespan_into(inst, ctx);
         if a <= b {
+            a
+        } else {
+            b
+        }
+    }
+
+    fn makespan_incremental(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut RunTrace,
+        dirty: &DirtyRegion,
+    ) -> f64 {
+        // MinMin records into the trace proper, MaxMin into its sub-trace —
+        // both components replay independently
+        let mut sub = trace.take_sub();
+        let a = MinMin.makespan_incremental(inst, ctx, trace, dirty);
+        let b = MaxMin.makespan_incremental(inst, ctx, &mut sub, dirty);
+        trace.put_sub(sub);
+        if a <= b {
+            a
+        } else {
+            b
+        }
+    }
+
+    fn schedule_incremental_into(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut RunTrace,
+        dirty: &DirtyRegion,
+    ) -> Schedule {
+        let mut sub = trace.take_sub();
+        let a = MinMin.schedule_incremental_into(inst, ctx, trace, dirty);
+        let b = MaxMin.schedule_incremental_into(inst, ctx, &mut sub, dirty);
+        trace.put_sub(sub);
+        // non-strict: prefer MinMin on ties (paper lists MinMin first)
+        if a.makespan() <= b.makespan() {
             a
         } else {
             b

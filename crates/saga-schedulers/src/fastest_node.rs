@@ -12,6 +12,16 @@ use saga_core::{Instance, SchedContext};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FastestNode;
 
+fn serial_loop(ctx: &mut SchedContext) {
+    let v = ctx.fastest_node();
+    let n = ctx.task_count();
+    while ctx.placed_count() < n {
+        let t = ctx.ready()[0]; // lowest-id ready = topological order
+        let (s, _) = ctx.eft(t, v, false);
+        ctx.place(t, v, s);
+    }
+}
+
 impl KernelRun for FastestNode {
     fn kernel_name(&self) -> &'static str {
         "FastestNode"
@@ -19,13 +29,21 @@ impl KernelRun for FastestNode {
 
     fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
         ctx.reset(inst);
-        let v = ctx.fastest_node();
-        let n = ctx.task_count();
-        while ctx.placed_count() < n {
-            let t = ctx.ready()[0]; // lowest-id ready = topological order
-            let (s, _) = ctx.eft(t, v, false);
-            ctx.place(t, v, s);
-        }
+        serial_loop(ctx);
+    }
+
+    fn run_recorded(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut saga_core::RunTrace,
+        dirty: &saga_core::DirtyRegion,
+    ) {
+        ctx.reset(inst);
+        ctx.begin_recording();
+        crate::util::replay_frontier_prefix(ctx, trace, dirty, false, |_, _| false);
+        serial_loop(ctx);
+        ctx.take_recording(trace);
     }
 }
 

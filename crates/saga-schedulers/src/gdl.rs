@@ -22,7 +22,7 @@
 //! O(ready × nodes × preds) rescans that made GDL the slowest sweep.
 
 use crate::{util, KernelRun};
-use saga_core::{Instance, SchedContext};
+use saga_core::{DirtyRegion, Instance, RunTrace, SchedContext, TaskId};
 
 /// The GDL (DLS) scheduler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -39,6 +39,63 @@ fn median(xs: &mut [f64]) -> f64 {
     }
 }
 
+/// Computes GDL's per-task decision inputs — median execution times and
+/// static levels — into `levels` as one concatenated row
+/// (`[sl..., med_exec...]`), which doubles as the incremental trace's aux
+/// row: any bit change in either vector can flip a future selection.
+fn levels_into(ctx: &mut SchedContext, levels: &mut Vec<f64>) {
+    let n = ctx.task_count();
+    let mut xs = ctx.take_f64();
+    levels.clear();
+    levels.resize(2 * n, 0.0);
+    for t in ctx.tasks() {
+        xs.clear();
+        xs.extend_from_slice(ctx.exec_row(t));
+        levels[n + t.index()] = median(&mut xs);
+    }
+    // static level: longest median-exec path to a sink (no comm)
+    for &t in ctx.topo_order().iter().rev() {
+        let mut best = 0.0f64;
+        for (s, _) in ctx.succs(t) {
+            best = best.max(levels[s.index()]);
+        }
+        levels[t.index()] = levels[n + t.index()] + best;
+    }
+    ctx.give_f64(xs);
+}
+
+/// GDL's selection loop from whatever partial state `ctx` is in.
+fn gdl_loop(ctx: &mut SchedContext, sweep: &mut util::FrontierSweep, levels: &[f64]) {
+    let n = ctx.task_count();
+    let (sl, med_exec) = levels.split_at(n);
+    let nv = ctx.node_count();
+    while ctx.placed_count() < n {
+        let mut chosen: Option<(saga_core::TaskId, saga_core::NodeId, f64, f64)> = None;
+        for &t in ctx.ready() {
+            let ready_row = sweep.row(nv, t);
+            let med = med_exec[t.index()];
+            let level = sl[t.index()];
+            for (v, &duration) in ctx.exec_row(t).iter().enumerate() {
+                let da = ready_row[v];
+                let tf = sweep.tail(v);
+                let start = da.max(tf);
+                let delta = med - duration;
+                let dl = level - start + delta;
+                let better = match chosen {
+                    None => true,
+                    Some((_, _, _, cdl)) => dl > cdl,
+                };
+                if better {
+                    chosen = Some((t, saga_core::NodeId(v as u32), start, dl));
+                }
+            }
+        }
+        let (t, v, start, _) = chosen.expect("ready set cannot be empty in a DAG");
+        ctx.place(t, v, start);
+        sweep.note_placed(ctx, t);
+    }
+}
+
 impl KernelRun for Gdl {
     fn kernel_name(&self) -> &'static str {
         "GDL"
@@ -46,57 +103,55 @@ impl KernelRun for Gdl {
 
     fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
         ctx.reset(inst);
-        let n = ctx.task_count();
-        // median execution time per task over all nodes
-        let mut med_exec = ctx.take_f64();
-        let mut xs = ctx.take_f64();
-        for t in ctx.tasks() {
-            xs.clear();
-            xs.extend_from_slice(ctx.exec_row(t));
-            med_exec.push(median(&mut xs));
-        }
-        // static level: longest median-exec path to a sink (no comm)
-        let mut sl = ctx.take_f64();
-        sl.resize(n, 0.0);
-        for &t in ctx.topo_order().iter().rev() {
-            let mut best = 0.0f64;
-            for (s, _) in ctx.succs(t) {
-                best = best.max(sl[s.index()]);
-            }
-            sl[t.index()] = med_exec[t.index()] + best;
-        }
-
-        let nv = ctx.node_count();
+        let mut levels = ctx.take_f64();
+        levels_into(ctx, &mut levels);
         let mut sweep = util::FrontierSweep::new(ctx);
-        while ctx.placed_count() < n {
-            let mut chosen: Option<(saga_core::TaskId, saga_core::NodeId, f64, f64)> = None;
-            for &t in ctx.ready() {
-                let ready_row = sweep.row(nv, t);
-                let med = med_exec[t.index()];
-                let level = sl[t.index()];
-                for (v, &duration) in ctx.exec_row(t).iter().enumerate() {
-                    let da = ready_row[v];
-                    let tf = sweep.tail(v);
-                    let start = da.max(tf);
-                    let delta = med - duration;
-                    let dl = level - start + delta;
-                    let better = match chosen {
-                        None => true,
-                        Some((_, _, _, cdl)) => dl > cdl,
-                    };
-                    if better {
-                        chosen = Some((t, saga_core::NodeId(v as u32), start, dl));
-                    }
+        gdl_loop(ctx, &mut sweep, &levels);
+        sweep.release(ctx);
+        ctx.give_f64(levels);
+    }
+
+    fn run_recorded(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut RunTrace,
+        dirty: &DirtyRegion,
+    ) {
+        ctx.reset(inst);
+        let mut levels = ctx.take_f64();
+        levels_into(ctx, &mut levels);
+        ctx.begin_recording();
+        // like ETF's rank tie-break, GDL's dynamic level folds in per-task
+        // static data (static level and median execution time): the replay
+        // must additionally stop once a task whose `[sl, med]` bits changed
+        // sits in the frontier
+        if !dirty.is_full()
+            && trace.matches(ctx.task_count(), ctx.node_count())
+            && trace.aux().len() == levels.len()
+        {
+            let n = ctx.task_count();
+            let mut changed = ctx.take_tasks();
+            for i in 0..n {
+                if levels[i].to_bits() != trace.aux()[i].to_bits()
+                    || levels[n + i].to_bits() != trace.aux()[n + i].to_bits()
+                {
+                    changed.push(TaskId(i as u32));
                 }
             }
-            let (t, v, start, _) = chosen.expect("ready set cannot be empty in a DAG");
-            ctx.place(t, v, start);
-            sweep.note_placed(ctx, t);
+            util::replay_frontier_prefix(ctx, trace, dirty, true, |ctx, _| {
+                changed
+                    .iter()
+                    .any(|&t| !ctx.is_placed(t) && ctx.is_ready(t))
+            });
+            ctx.give_tasks(changed);
         }
+        let mut sweep = util::FrontierSweep::new(ctx);
+        gdl_loop(ctx, &mut sweep, &levels);
         sweep.release(ctx);
-        ctx.give_f64(med_exec);
-        ctx.give_f64(xs);
-        ctx.give_f64(sl);
+        ctx.take_recording(trace);
+        trace.set_aux(&levels);
+        ctx.give_f64(levels);
     }
 }
 

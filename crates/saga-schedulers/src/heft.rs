@@ -7,11 +7,23 @@
 //! (insertion-based policy). Complexity `O(|T|^2 |V|)`.
 
 use crate::{util, KernelRun};
-use saga_core::{Instance, SchedContext};
+use saga_core::{DirtyRegion, Instance, RunTrace, SchedContext};
 
 /// The HEFT scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Heft;
+
+/// HEFT's priority list: a topological order stably sorted by descending
+/// upward rank. Descending upward rank is a valid topological order when
+/// ranks are finite, but infinite ranks (zero-speed networks) compare equal
+/// and would collapse the ordering — starting from a topological order and
+/// sorting stably keeps precedence order on ties (`total_cmp` keeps the
+/// comparator transitive even with infinities).
+fn priority_order(ctx: &mut SchedContext, rank: &mut Vec<f64>, order: &mut Vec<saga_core::TaskId>) {
+    ctx.upward_ranks_into(rank);
+    order.extend_from_slice(ctx.topo_order());
+    order.sort_by(|&a, &b| rank[b.index()].total_cmp(&rank[a.index()]));
+}
 
 impl KernelRun for Heft {
     fn kernel_name(&self) -> &'static str {
@@ -21,21 +33,52 @@ impl KernelRun for Heft {
     fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
         ctx.reset(inst);
         let mut rank = ctx.take_f64();
-        ctx.upward_ranks_into(&mut rank);
-        // Descending upward rank is a valid topological order when ranks are
-        // finite, but infinite ranks (zero-speed networks) compare equal and
-        // would collapse the ordering — so stably sort a topological order:
-        // equal ranks keep precedence order.
         let mut order = ctx.take_tasks();
-        order.extend_from_slice(ctx.topo_order());
-        // total_cmp keeps the comparator transitive even with infinities
-        order.sort_by(|&a, &b| rank[b.index()].total_cmp(&rank[a.index()]));
+        priority_order(ctx, &mut rank, &mut order);
         // `sort_by` is stable, so equal ranks keep topological order and
         // every predecessor is placed before its successors.
         for &t in &order {
             let (v, s, _) = util::best_eft_node(ctx, t, true);
             ctx.place(t, v, s);
         }
+        ctx.give_f64(rank);
+        ctx.give_tasks(order);
+    }
+
+    fn run_recorded(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut RunTrace,
+        dirty: &DirtyRegion,
+    ) {
+        ctx.reset(inst);
+        let mut rank = ctx.take_f64();
+        let mut order = ctx.take_tasks();
+        priority_order(ctx, &mut rank, &mut order);
+        ctx.begin_recording();
+        let n = ctx.task_count();
+        let mut k = 0;
+        // HEFT places in a statically computed order, so the recorded run
+        // can be replayed as long as the fresh priority list agrees with it
+        // position by position and the placed task's own inputs (execution
+        // row, predecessor edges) are untouched — the EFT sweep then sees
+        // bitwise-identical timelines and data-ready times by induction.
+        if !dirty.is_full() && trace.matches(n, ctx.node_count()) {
+            while k < n {
+                let t = order[k];
+                if trace.task(k) != t || dirty.contains(t) {
+                    break;
+                }
+                ctx.place(t, trace.node(k), trace.start(k));
+                k += 1;
+            }
+        }
+        for &t in &order[k..] {
+            let (v, s, _) = util::best_eft_node(ctx, t, true);
+            ctx.place(t, v, s);
+        }
+        ctx.take_recording(trace);
         ctx.give_f64(rank);
         ctx.give_tasks(order);
     }

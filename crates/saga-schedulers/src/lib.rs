@@ -10,7 +10,7 @@
 
 #![warn(missing_docs)]
 
-use saga_core::{Instance, SchedContext, Schedule};
+use saga_core::{DirtyRegion, Instance, RunTrace, SchedContext, Schedule};
 
 mod bil;
 mod bnb;
@@ -91,6 +91,44 @@ pub trait Scheduler: Send + Sync {
     fn makespan_into(&self, inst: &Instance, ctx: &mut SchedContext) -> f64 {
         self.schedule_into(inst, ctx).makespan()
     }
+
+    /// Incremental delta-evaluation entry point: like
+    /// [`makespan_into`](Scheduler::makespan_into), but may reuse `trace` —
+    /// this scheduler's recorded previous run — to replay the unchanged
+    /// placement prefix, and records the new run back into `trace`.
+    ///
+    /// Contract: `trace` must come from this scheduler's previous
+    /// incremental call on the *same evolving instance*, and `dirty` must
+    /// cover every change to `inst` since that call (pass
+    /// [`DirtyRegion::full`] when unknown — e.g. for a brand-new instance).
+    /// Implementations replay only when the result is provably bit-identical
+    /// to a full run; the default ignores the trace and runs from scratch.
+    fn makespan_incremental(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut RunTrace,
+        dirty: &DirtyRegion,
+    ) -> f64 {
+        let _ = dirty;
+        trace.invalidate();
+        self.makespan_into(inst, ctx)
+    }
+
+    /// [`schedule_into`](Scheduler::schedule_into) with the incremental
+    /// contract of [`makespan_incremental`](Scheduler::makespan_incremental)
+    /// — the metric-objective cells need the materialized [`Schedule`].
+    fn schedule_incremental_into(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut RunTrace,
+        dirty: &DirtyRegion,
+    ) -> Schedule {
+        let _ = dirty;
+        trace.invalidate();
+        self.schedule_into(inst, ctx)
+    }
 }
 
 /// List schedulers implemented directly on the [`SchedContext`] kernel:
@@ -103,6 +141,25 @@ pub(crate) trait KernelRun: Send + Sync {
     fn kernel_name(&self) -> &'static str;
     /// Resets `ctx` for `inst` and places every task.
     fn run(&self, inst: &Instance, ctx: &mut SchedContext);
+
+    /// [`run`](KernelRun::run) with placement recording into `trace`.
+    /// Schedulers that support incremental delta-evaluation replay the
+    /// trace's unchanged prefix (per `dirty`, see [`Scheduler::
+    /// makespan_incremental`]) before falling back to their decision loop;
+    /// the default invalidates the trace and runs from scratch (schedulers
+    /// whose structure doesn't fit a single recorded pass, e.g. Duplex's
+    /// best-of-two, stay on this path).
+    fn run_recorded(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut RunTrace,
+        dirty: &DirtyRegion,
+    ) {
+        let _ = dirty;
+        trace.invalidate();
+        self.run(inst, ctx);
+    }
 }
 
 impl<T: KernelRun> Scheduler for T {
@@ -125,6 +182,46 @@ impl<T: KernelRun> Scheduler for T {
             "scheduler left tasks unplaced"
         );
         ctx.current_makespan()
+    }
+
+    fn makespan_incremental(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut RunTrace,
+        dirty: &DirtyRegion,
+    ) -> f64 {
+        // nothing changed since the recorded run: its makespan still holds
+        if dirty.is_clean() && trace.matches(inst.graph.task_count(), inst.network.node_count()) {
+            return trace.makespan();
+        }
+        self.run_recorded(inst, ctx, trace, dirty);
+        assert_eq!(
+            ctx.placed_count(),
+            ctx.task_count(),
+            "scheduler left tasks unplaced"
+        );
+        let m = ctx.current_makespan();
+        if trace.is_valid() {
+            trace.set_makespan(m);
+        }
+        m
+    }
+
+    fn schedule_incremental_into(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut RunTrace,
+        dirty: &DirtyRegion,
+    ) -> Schedule {
+        // a clean region still needs materialization: the replay path then
+        // replays the whole trace (the dirty set never reaches the frontier)
+        self.run_recorded(inst, ctx, trace, dirty);
+        if trace.is_valid() {
+            trace.set_makespan(ctx.current_makespan());
+        }
+        ctx.snapshot_schedule()
     }
 }
 

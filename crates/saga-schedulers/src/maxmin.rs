@@ -4,9 +4,9 @@
 //! *minimum* completion time is *largest* (get the big rocks in early).
 //! Complexity `O(|T|^2 |V|)`.
 
-use crate::minmin::min_max_run;
+use crate::minmin::{min_max_run, min_max_run_recorded};
 use crate::KernelRun;
-use saga_core::{Instance, SchedContext};
+use saga_core::{DirtyRegion, Instance, RunTrace, SchedContext};
 
 /// The MaxMin scheduler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -19,6 +19,16 @@ impl KernelRun for MaxMin {
 
     fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
         min_max_run(inst, ctx, true);
+    }
+
+    fn run_recorded(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut RunTrace,
+        dirty: &DirtyRegion,
+    ) {
+        min_max_run_recorded(inst, ctx, true, trace, dirty);
     }
 }
 

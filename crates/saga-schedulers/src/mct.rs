@@ -6,11 +6,22 @@
 //! the paper puts it. Complexity `O(|T|^2 |V|)`.
 
 use crate::{util, KernelRun};
-use saga_core::{Instance, SchedContext};
+use saga_core::{DirtyRegion, Instance, RunTrace, SchedContext};
 
 /// The MCT scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Mct;
+
+fn mct_loop(ctx: &mut SchedContext) {
+    // popping the lowest-id ready task at each step reproduces the
+    // smallest-id-tie-break topological order without materializing it
+    let n = ctx.task_count();
+    while ctx.placed_count() < n {
+        let t = ctx.ready()[0];
+        let (v, s, _) = util::best_eft_node(ctx, t, false);
+        ctx.place(t, v, s);
+    }
+}
 
 impl KernelRun for Mct {
     fn kernel_name(&self) -> &'static str {
@@ -19,14 +30,21 @@ impl KernelRun for Mct {
 
     fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
         ctx.reset(inst);
-        // popping the lowest-id ready task at each step reproduces the
-        // smallest-id-tie-break topological order without materializing it
-        let n = ctx.task_count();
-        while ctx.placed_count() < n {
-            let t = ctx.ready()[0];
-            let (v, s, _) = util::best_eft_node(ctx, t, false);
-            ctx.place(t, v, s);
-        }
+        mct_loop(ctx);
+    }
+
+    fn run_recorded(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut RunTrace,
+        dirty: &DirtyRegion,
+    ) {
+        ctx.reset(inst);
+        ctx.begin_recording();
+        util::replay_frontier_prefix(ctx, trace, dirty, false, |_, _| false);
+        mct_loop(ctx);
+        ctx.take_recording(trace);
     }
 }
 

@@ -7,20 +7,18 @@
 //! `O(|T|^2 |V|)`.
 
 use crate::{util, KernelRun};
-use saga_core::{Instance, SchedContext};
+use saga_core::{DirtyRegion, Instance, RunTrace, SchedContext};
 
 /// The MinMin scheduler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MinMin;
 
-/// Shared MinMin/MaxMin sweep: pick the ready task whose best EFT is
-/// extremal (`want_max = false` for MinMin, `true` for MaxMin) and place it.
-/// Append-only, so the [`util::FrontierSweep`] cache answers every
+/// The shared MinMin/MaxMin selection loop from whatever partial state
+/// `ctx` is in: pick the ready task whose best EFT is extremal and place
+/// it. Append-only, so the [`util::FrontierSweep`] cache answers every
 /// `(start, finish)` from cached data-ready rows.
-pub(crate) fn min_max_run(inst: &Instance, ctx: &mut SchedContext, want_max: bool) {
-    ctx.reset(inst);
+fn min_max_loop(ctx: &mut SchedContext, sweep: &mut util::FrontierSweep, want_max: bool) {
     let n = ctx.task_count();
-    let mut sweep = util::FrontierSweep::new(ctx);
     while ctx.placed_count() < n {
         let mut chosen = None;
         for &t in ctx.ready() {
@@ -44,7 +42,35 @@ pub(crate) fn min_max_run(inst: &Instance, ctx: &mut SchedContext, want_max: boo
         ctx.place(t, v, s);
         sweep.note_placed(ctx, t);
     }
+}
+
+/// Shared MinMin/MaxMin sweep (`want_max = false` for MinMin, `true` for
+/// MaxMin).
+pub(crate) fn min_max_run(inst: &Instance, ctx: &mut SchedContext, want_max: bool) {
+    ctx.reset(inst);
+    let mut sweep = util::FrontierSweep::new(ctx);
+    min_max_loop(ctx, &mut sweep, want_max);
     sweep.release(ctx);
+}
+
+/// [`min_max_run`] with trace recording and incremental prefix replay.
+/// The selection compares only EFT compositions of *ready* tasks, so the
+/// generic frontier stop rule is exact: until a dirty task is ready (or
+/// about to be placed), every per-step comparison is bitwise unchanged.
+pub(crate) fn min_max_run_recorded(
+    inst: &Instance,
+    ctx: &mut SchedContext,
+    want_max: bool,
+    trace: &mut RunTrace,
+    dirty: &DirtyRegion,
+) {
+    ctx.reset(inst);
+    ctx.begin_recording();
+    util::replay_frontier_prefix(ctx, trace, dirty, true, |_, _| false);
+    let mut sweep = util::FrontierSweep::new(ctx);
+    min_max_loop(ctx, &mut sweep, want_max);
+    sweep.release(ctx);
+    ctx.take_recording(trace);
 }
 
 impl KernelRun for MinMin {
@@ -54,6 +80,16 @@ impl KernelRun for MinMin {
 
     fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
         min_max_run(inst, ctx, false);
+    }
+
+    fn run_recorded(
+        &self,
+        inst: &Instance,
+        ctx: &mut SchedContext,
+        trace: &mut RunTrace,
+        dirty: &DirtyRegion,
+    ) {
+        min_max_run_recorded(inst, ctx, false, trace, dirty);
     }
 }
 

@@ -3,7 +3,7 @@
 //! All helpers operate on the [`SchedContext`] kernel; builder-based callers
 //! reach it through [`ScheduleBuilder::ctx`](saga_core::ScheduleBuilder::ctx).
 
-use saga_core::{NodeId, SchedContext, TaskId};
+use saga_core::{DirtyRegion, NodeId, RunTrace, SchedContext, TaskId};
 
 /// Stack-buffer capacity for per-node scratch in the selection helpers;
 /// networks wider than this fall back to per-node queries.
@@ -26,13 +26,16 @@ pub(crate) struct FrontierSweep {
 
 impl FrontierSweep {
     /// Builds the cache (buffers from the context pools) and fills the rows
-    /// of the initially ready tasks.
+    /// of the currently ready tasks. Tails come from the context's
+    /// timelines, so a sweep may start mid-run — after an incremental
+    /// replay of an append-only placement prefix — as well as from a clean
+    /// context (where every tail is the same `0.0` as before).
     pub fn new(ctx: &mut SchedContext) -> Self {
         let nv = ctx.node_count();
         let mut drt = ctx.take_f64();
         drt.resize(ctx.task_count() * nv, 0.0);
         let mut tails = ctx.take_f64();
-        tails.resize(nv, 0.0);
+        tails.extend((0..nv).map(|v| ctx.earliest_start_append(NodeId(v as u32), 0.0)));
         let mut sweep = FrontierSweep { drt, tails };
         for &t in ctx.ready() {
             sweep.fill_row(ctx, t);
@@ -257,6 +260,52 @@ pub fn first_idle_node(ctx: &SchedContext) -> NodeId {
         }
     }
     best.map(|(v, _)| v).expect("network has at least one node")
+}
+
+/// Replays the longest trustworthy prefix of `trace` into `ctx` for a
+/// *frontier-scanning* scheduler (MinMin/MaxMin-class selection over the
+/// ready set, or lowest-id-ready topological dispatch): each recorded
+/// placement is re-applied verbatim — skipping the scheduler's EFT and
+/// data-ready scans — until the dirty region reaches the frontier.
+///
+/// The replay stops before position `k` when the recorded task is
+/// placement-dirty or — for `frontier_sensitive` schedulers, whose per-step
+/// selection *compares* values across the ready set (MinMin/MaxMin-class
+/// EFT scans) — when any dirty task sits in the ready frontier;
+/// `extra_stop` lets rank-tie-breaking schedulers add their own condition
+/// (e.g. "a task whose rank bits changed is in the frontier"). Schedulers
+/// that dispatch purely by ready order (lowest-id ready = topological
+/// order: FastestNode, MCT, MET, OLB) pass `frontier_sensitive = false`: a
+/// dirty task's changed *values* cannot influence their selection, only
+/// its changed *readiness* can — so the frontier check is still applied
+/// whenever the dirty region is structural.
+///
+/// Until the stop point the previous run's frontier evolution and per-step
+/// selections provably coincide with what a full run on the perturbed
+/// instance would compute — a dirty task can only influence a selection
+/// once it is ready (it is scanned) or placed (its recorded decision used
+/// stale inputs), and non-dirty tasks' EFT inputs are bitwise unchanged by
+/// induction over the identical prefix. Returns nothing: the caller's
+/// normal decision loop continues from whatever `ctx` state is left.
+pub(crate) fn replay_frontier_prefix(
+    ctx: &mut SchedContext,
+    trace: &RunTrace,
+    dirty: &DirtyRegion,
+    frontier_sensitive: bool,
+    mut extra_stop: impl FnMut(&SchedContext, usize) -> bool,
+) {
+    if dirty.is_full() || !trace.matches(ctx.task_count(), ctx.node_count()) {
+        return;
+    }
+    let check_frontier = frontier_sensitive || dirty.is_structural();
+    for k in 0..trace.len() {
+        let t = trace.task(k);
+        if dirty.contains(t) || (check_frontier && dirty.any_in_frontier(ctx)) || extra_stop(ctx, k)
+        {
+            break;
+        }
+        ctx.place(t, trace.node(k), trace.start(k));
+    }
 }
 
 /// Test fixtures shared by the scheduler unit tests and downstream crates'

@@ -11,7 +11,11 @@
 //! `derive_seed(BASE_SEED, cell index)` stream, exactly as the cells below
 //! assign them, so any divergence introduced by context borrowing, scratch
 //! reuse, in-place perturbation undo, the kernel's selective table refresh,
-//! or engine sharding flips bits here and fails the suite.
+//! incremental delta-evaluation (dirty-region table refresh + recorded-run
+//! prefix replay, the default path since PR 5 — force it off with
+//! `SAGA_NO_INCREMENTAL=1` to check the full-rebuild path against the same
+//! bits, as CI does), or engine sharding flips bits here and fails the
+//! suite.
 //!
 //! Regenerate (only when a behavior change is *intended* and reviewed):
 //!
@@ -124,7 +128,7 @@ fn battery_cells() -> Vec<SearchCell> {
 fn current_lines() -> Vec<String> {
     let cells = battery_cells();
     let engine = BatchEngine::new();
-    let results = engine.run_cells(&cells, None, None);
+    let results = engine.run_cells(&cells, None, None).unwrap();
     cells
         .iter()
         .zip(&results)
@@ -182,11 +186,11 @@ fn checkpointed_battery_replays_identically() {
     let path = std::env::temp_dir().join(format!("saga_golden_cells_{}.jsonl", std::process::id()));
     let _ = std::fs::remove_file(&path);
     let ck = CellCheckpoint::open(&path, false).unwrap();
-    let fresh = engine.run_cells(&cells, None, Some(&ck));
+    let fresh = engine.run_cells(&cells, None, Some(&ck)).unwrap();
     drop(ck);
     let ck = CellCheckpoint::open(&path, true).unwrap();
     assert_eq!(ck.loaded(), cells.len());
-    let replayed = engine.run_cells(&cells, None, Some(&ck));
+    let replayed = engine.run_cells(&cells, None, Some(&ck)).unwrap();
     for ((cell, a), b) in cells.iter().zip(&fresh).zip(&replayed) {
         assert_eq!(a.ratio.to_bits(), b.ratio.to_bits(), "{}", cell.label);
         assert_eq!(a.evaluations, b.evaluations, "{}", cell.label);
