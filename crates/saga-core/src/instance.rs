@@ -53,13 +53,17 @@ impl Instance {
     /// `inf` into `null` but cannot read it back into an `f64`).
     pub fn to_json(&self) -> String {
         let dto = dto::InstanceDto::from(self);
+        // saga-lint: allow(error-discipline) — InstanceDto is vectors and tuples of primitives; the vendored serializer has no failure path for it
         serde_json::to_string_pretty(&dto).expect("instance serialization cannot fail")
     }
 
     /// Parses an instance previously produced by [`Instance::to_json`].
+    /// Fails on malformed JSON *and* on well-formed JSON that encodes an
+    /// invalid instance (a dependency cycle, an out-of-range task id) — a
+    /// hand-edited witness file is a parse error, not a panic.
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         let dto: dto::InstanceDto = serde_json::from_str(s)?;
-        Ok(dto.into())
+        dto.try_into()
     }
 }
 
@@ -118,8 +122,10 @@ mod dto {
         }
     }
 
-    impl From<InstanceDto> for super::Instance {
-        fn from(dto: InstanceDto) -> Self {
+    impl TryFrom<InstanceDto> for super::Instance {
+        type Error = serde_json::Error;
+
+        fn try_from(dto: InstanceDto) -> Result<Self, Self::Error> {
             let network =
                 Network::from_matrix(dto.speeds, dto.links.into_iter().map(dec).collect());
             let mut graph = TaskGraph::with_capacity(dto.tasks.len());
@@ -129,11 +135,13 @@ mod dto {
             let mut deps = dto.deps;
             deps.sort_unstable_by_key(|&(a, b, _)| (a, b));
             for (a, b, c) in deps {
-                graph
-                    .add_dependency(a.into(), b.into(), c)
-                    .expect("serialized instance must be a DAG");
+                graph.add_dependency(a.into(), b.into(), c).map_err(|e| {
+                    serde_json::Error::from(serde::Error::custom(format!(
+                        "dependency {a} -> {b}: {e}"
+                    )))
+                })?;
             }
-            super::Instance { network, graph }
+            Ok(super::Instance { network, graph })
         }
     }
 }

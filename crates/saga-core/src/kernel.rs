@@ -624,6 +624,7 @@ impl SchedContext {
     fn clear_run_state(&mut self) {
         let nt = self.n_tasks;
         let nv = self.n_nodes;
+        // saga-lint: allow(hot-alloc) — warm-up only: grows the timeline table the first time a node count is seen; steady-state runs hit the resize_with no-op and the clear below reuses capacity
         self.timelines.resize_with(nv, Vec::new);
         for tl in &mut self.timelines {
             tl.clear();

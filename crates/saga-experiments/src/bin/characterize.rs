@@ -53,7 +53,11 @@ fn main() {
                 "\nPISA witness instances ({} from {path}):",
                 lib.records.len()
             );
-            let instances: Vec<_> = lib.records.iter().map(|r| r.instance()).collect();
+            let instances: Vec<_> = lib
+                .records
+                .iter()
+                .map(|r| r.instance().expect("stored instance is valid"))
+                .collect();
             let p = mean_profile(&instances);
             print_profile("witnesses", &p);
             // how far from the chains dataset (their seed family) did the

@@ -52,7 +52,7 @@ fn main() {
         // revalidation additionally needs the target and counts as a
         // mismatch when it is unknown
         let row = saga_schedulers::by_name(&r.baseline).map(|baseline| {
-            let inst = r.instance();
+            let inst = r.instance().expect("stored instance is valid");
             ctx.with_pinned(&inst, |ctx| {
                 let b = baseline.makespan_into(&inst, ctx);
                 let c = candidate.makespan_into(&inst, ctx);

@@ -31,7 +31,7 @@ use saga_pisa::annealer::AnnealScratch;
 use saga_pisa::{PisaResult, SearchCell};
 use saga_schedulers::Scheduler;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -177,7 +177,11 @@ impl BatchEngine {
                             let res = cell.run(ctx, scratch);
                             if let Some(c) = checkpoint {
                                 if let Err(e) = c.record(&key, &res) {
-                                    let mut slot = write_error.lock().expect("error slot poisoned");
+                                    // a poisoned slot still holds a coherent
+                                    // Option; recover it rather than abort
+                                    let mut slot = write_error
+                                        .lock()
+                                        .unwrap_or_else(|poisoned| poisoned.into_inner());
                                     if slot.is_none() {
                                         *slot = Some(e);
                                     }
@@ -194,10 +198,14 @@ impl BatchEngine {
                 },
             )
             .collect();
-        match write_error.into_inner().expect("error slot poisoned") {
+        let first_error = write_error
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match first_error {
             Some(e) => Err(e),
             None => Ok(results
                 .into_iter()
+                // saga-lint: allow(error-discipline) — cells return None only after `failed` is set, which always records an error first; with no error recorded every cell ran
                 .map(|r| r.expect("no cell skipped without a recorded error"))
                 .collect()),
         }
@@ -315,16 +323,17 @@ struct CellRecord {
 }
 
 impl CellRecord {
-    fn new(key: &str, res: &PisaResult) -> Self {
-        CellRecord {
+    fn new(key: &str, res: &PisaResult) -> std::io::Result<Self> {
+        let instance = serde_json::from_str(&res.instance.to_json())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(CellRecord {
             key: key.to_string(),
             ratio_bits: format!("{:016x}", res.ratio.to_bits()),
             initial_bits: format!("{:016x}", res.initial_ratio.to_bits()),
             evaluations: res.evaluations,
             ratio: res.ratio.is_finite().then_some(res.ratio),
-            instance: serde_json::from_str(&res.instance.to_json())
-                .expect("instance JSON is valid"),
-        }
+            instance,
+        })
     }
 
     fn result(&self) -> Option<PisaResult> {
@@ -347,7 +356,7 @@ impl CellRecord {
 /// are skipped with a warning, so a torn checkpoint only costs re-running
 /// the affected cell.
 pub struct CellCheckpoint {
-    done: HashMap<String, PisaResult>,
+    done: BTreeMap<String, PisaResult>,
     file: Mutex<std::fs::File>,
     skipped: usize,
 }
@@ -361,7 +370,7 @@ impl CellCheckpoint {
     /// summarized on stderr — a corrupted checkpoint is visible instead of
     /// quietly re-running its cells.
     pub fn open(path: &std::path::Path, resume: bool) -> std::io::Result<Self> {
-        let mut done = HashMap::new();
+        let mut done = BTreeMap::new();
         let mut unterminated = false;
         let mut skipped = 0usize;
         if resume {
@@ -447,8 +456,14 @@ impl CellCheckpoint {
     /// returned instead of panicking, so the driver can finish the batch
     /// and surface the error with everything already recorded still intact.
     pub fn record(&self, key: &str, res: &PisaResult) -> std::io::Result<()> {
-        let line = serde_json::to_string(&CellRecord::new(key, res)).expect("record serializes");
-        let mut file = self.file.lock().expect("checkpoint file poisoned");
+        let line = serde_json::to_string(&CellRecord::new(key, res)?)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        // a poisoned file mutex still wraps a usable handle: the writer that
+        // panicked completed or abandoned its line, and ours appends whole
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         writeln!(file, "{line}")?;
         file.flush()
     }

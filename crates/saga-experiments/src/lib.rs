@@ -40,13 +40,24 @@ pub fn makespans(schedulers: &[Box<dyn Scheduler>], inst: &Instance) -> Vec<f64>
 }
 
 /// Writes `content` to `results/<name>` (creating the directory), returning
-/// the path. Failures are fatal — experiments must not silently drop data.
-pub fn write_results_file(name: &str, content: &str) -> std::path::PathBuf {
+/// the path. The fallible variant for callers that can report the error in
+/// their own way; the binaries use [`write_results_file`].
+pub fn try_write_results_file(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
     let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir).expect("create results dir");
+    std::fs::create_dir_all(dir)?;
     let path = dir.join(name);
-    std::fs::write(&path, content).expect("write results file");
-    path
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Writes `content` to `results/<name>` (creating the directory), returning
+/// the path. Failures are fatal — experiments must not silently drop data —
+/// but exit cleanly with the path and cause instead of a panic backtrace.
+pub fn write_results_file(name: &str, content: &str) -> std::path::PathBuf {
+    try_write_results_file(name, content).unwrap_or_else(|e| {
+        eprintln!("fatal: cannot write results/{name}: {e}");
+        std::process::exit(1);
+    })
 }
 
 #[cfg(test)]

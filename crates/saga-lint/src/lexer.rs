@@ -1,0 +1,514 @@
+//! A hand-rolled Rust source lexer with line/column spans.
+//!
+//! This extends the token-walking approach of the workspace's offline derive
+//! macro (`vendor/serde_derive` parses items straight off the
+//! `proc_macro::TokenStream`) down one level: here there is no `proc_macro`
+//! at all, so the lexer works on raw source text and carries the positions
+//! the derive never needed. Comments are emitted as tokens — suppression
+//! comments (`// saga-lint: allow(...)`) are part of the language this tool
+//! checks — and multi-character operators are left as single-character
+//! puncts; the rules match token *sequences* (`Vec :: new`), which keeps the
+//! lexer small and the matching explicit.
+//!
+//! The grammar subset is exactly what real workspace sources need: nested
+//! block comments, string/raw-string/byte-string and char literals with
+//! escapes, lifetimes vs char literals, numbers with exponents and radix
+//! prefixes, and identifiers (including raw `r#ident`).
+
+/// What a token is; the text itself lives in [`Tok::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#type`).
+    Ident,
+    /// A lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+    /// Numeric literal, any radix, including suffix (`0xCE11`, `1e-6`, `3u64`).
+    Num,
+    /// String literal of any flavor; [`Tok::text`] is the *unquoted* value
+    /// for ordinary strings and the raw body for raw strings.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// `// ...` comment, text excludes the newline.
+    LineComment,
+    /// `/* ... */` comment (possibly nested), full text.
+    BlockComment,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True for comment tokens, which the structural scan skips.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True if this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// True if this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream. Unterminated literals and comments lex
+/// as much as they can and stop at end of input — the linter reports on what
+/// it saw rather than refusing the file.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut toks = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' {
+            cur.bump();
+            match cur.peek() {
+                Some('/') => {
+                    let mut text = String::from("/");
+                    while let Some(ch) = cur.peek() {
+                        if ch == '\n' {
+                            break;
+                        }
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::LineComment,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                Some('*') => {
+                    cur.bump();
+                    let mut text = String::from("/*");
+                    let mut depth = 1u32;
+                    while depth > 0 {
+                        match cur.bump() {
+                            Some('*') if cur.peek() == Some('/') => {
+                                cur.bump();
+                                text.push_str("*/");
+                                depth -= 1;
+                            }
+                            Some('/') if cur.peek() == Some('*') => {
+                                cur.bump();
+                                text.push_str("/*");
+                                depth += 1;
+                            }
+                            Some(ch) => text.push(ch),
+                            None => break,
+                        }
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::BlockComment,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                _ => toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "/".into(),
+                    line,
+                    col,
+                }),
+            }
+            continue;
+        }
+        if let Some(tok) = lex_string_like(&mut cur, line, col) {
+            toks.push(tok);
+            continue;
+        }
+        if c == '\'' {
+            toks.push(lex_quote(&mut cur, line, col));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            toks.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek() {
+                if is_ident_continue(ch) {
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            // raw identifier `r#ident`: keep the unprefixed name so rules
+            // compare against what the code means, not how it spells it
+            if text == "r" && cur.peek() == Some('#') {
+                let mut ahead = cur.chars.clone();
+                ahead.next();
+                if ahead.peek().is_some_and(|&ch| is_ident_start(ch)) {
+                    cur.bump();
+                    text.clear();
+                    while let Some(ch) = cur.peek() {
+                        if is_ident_continue(ch) {
+                            text.push(ch);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        cur.bump();
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+/// Lexes string-family literals that start with an `r`/`b` prefix or a bare
+/// `"`. Returns `None` when the cursor is not at one (the caller then
+/// treats the prefix letter as a plain identifier start).
+fn lex_string_like(cur: &mut Cursor, line: u32, col: u32) -> Option<Tok> {
+    let c = cur.peek()?;
+    if c == '"' {
+        cur.bump();
+        return Some(finish_plain_string(cur, line, col));
+    }
+    if c != 'r' && c != 'b' {
+        return None;
+    }
+    // Look ahead without consuming: the prefix only belongs to a literal if
+    // it is followed by the right combination of `r`/`#`/quote characters.
+    let mut ahead = cur.chars.clone();
+    ahead.next(); // the prefix char
+    match c {
+        'b' => match ahead.peek() {
+            Some('"') => {
+                cur.bump();
+                cur.bump();
+                Some(finish_plain_string(cur, line, col))
+            }
+            Some('\'') => {
+                cur.bump(); // the `b`; lex_quote consumes the quote itself
+                Some(lex_quote(cur, line, col))
+            }
+            Some('r') => {
+                ahead.next();
+                matches!(ahead.peek(), Some('"' | '#')).then(|| {
+                    cur.bump();
+                    cur.bump();
+                    finish_raw_string(cur, line, col)
+                })
+            }
+            _ => None,
+        },
+        'r' => {
+            let starts_raw = match ahead.peek() {
+                Some('"') => true,
+                Some('#') => raw_string_follows(ahead.clone()),
+                _ => false,
+            };
+            starts_raw.then(|| {
+                cur.bump();
+                finish_raw_string(cur, line, col)
+            })
+        }
+        _ => None,
+    }
+}
+
+/// After `r` and zero consumed `#`s, does a raw string actually follow?
+/// Distinguishes `r#"…"#` (raw string) from `r#ident` (raw identifier).
+fn raw_string_follows(mut ahead: std::iter::Peekable<std::str::Chars>) -> bool {
+    while ahead.peek() == Some(&'#') {
+        ahead.next();
+    }
+    ahead.peek() == Some(&'"')
+}
+
+fn finish_plain_string(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '"' => break,
+            '\\' => {
+                // keep escapes undecoded; rules only need ASCII names intact
+                text.push('\\');
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            _ => text.push(ch),
+        }
+    }
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+fn finish_raw_string(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    'outer: while let Some(ch) = cur.bump() {
+        if ch == '"' {
+            // need exactly `hashes` following '#' to close
+            let mut ahead = cur.chars.clone();
+            for _ in 0..hashes {
+                if ahead.next() != Some('#') {
+                    text.push('"');
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+        text.push(ch);
+    }
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// At a `'`: a lifetime (`'a`) or a char literal (`'x'`, `'\n'`).
+fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    cur.bump(); // the quote
+    let mut ahead = cur.chars.clone();
+    let first = ahead.next();
+    if let Some(f) = first {
+        if is_ident_start(f) {
+            // consume the identifier; if it is NOT followed by a closing
+            // quote this was a lifetime, otherwise a char like 'a'
+            let mut name = String::new();
+            while let Some(&ch) = ahead.peek() {
+                if is_ident_continue(ch) {
+                    name.push(ch);
+                    ahead.next();
+                } else {
+                    break;
+                }
+            }
+            if ahead.peek() != Some(&'\'') {
+                cur.bump(); // first ident char
+                for _ in 1..name.len() {
+                    cur.bump();
+                }
+                let mut text = f.to_string();
+                text.push_str(&name);
+                return Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                };
+            }
+        }
+    }
+    // char literal: consume up to the closing quote, honoring escapes
+    let mut text = String::new();
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '\'' => break,
+            '\\' => {
+                text.push('\\');
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            _ => text.push(ch),
+        }
+    }
+    Tok {
+        kind: TokKind::Char,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(ch) = cur.peek() {
+        if ch.is_alphanumeric() || ch == '_' {
+            text.push(ch);
+            cur.bump();
+            // exponent sign: `1e-6`, `2.5E+3`
+            if (ch == 'e' || ch == 'E')
+                && !text.starts_with("0x")
+                && matches!(cur.peek(), Some('+' | '-'))
+            {
+                let mut ahead = cur.chars.clone();
+                ahead.next();
+                if ahead.peek().is_some_and(|d| d.is_ascii_digit()) {
+                    text.push(cur.bump().expect("peeked sign"));
+                }
+            }
+        } else if ch == '.' {
+            // fractional part only if a digit follows — `0..4` stays a range
+            let mut ahead = cur.chars.clone();
+            ahead.next();
+            if ahead.peek().is_some_and(|d| d.is_ascii_digit()) && !text.contains('.') {
+                text.push('.');
+                cur.bump();
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    Tok {
+        kind: TokKind::Num,
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let toks = lex("fn main() {\n    x.y\n}");
+        assert!(toks[0].is_ident("fn"));
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        let dot = toks.iter().find(|t| t.is_punct('.')).unwrap();
+        assert_eq!((dot.line, dot.col), (2, 6));
+    }
+
+    #[test]
+    fn comments_are_tokens() {
+        let toks = kinds("a // saga-lint: allow(x) — why\nb /* c /* nested */ d */ e");
+        assert_eq!(toks[1].0, TokKind::LineComment);
+        assert!(toks[1].1.contains("saga-lint"));
+        assert_eq!(toks[3].0, TokKind::BlockComment);
+        assert!(toks[3].1.contains("nested"));
+        assert_eq!(toks[4].1, "e");
+    }
+
+    #[test]
+    fn string_flavors_do_not_swallow_code() {
+        let toks =
+            kinds(r####"let a = "x\"y"; let b = r#"raw "inner" body"#; let c = b"bytes";"####);
+        let strs: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(strs.len(), 3);
+        assert!(strs[1].contains("raw \"inner\" body"));
+        assert_eq!(toks.last().unwrap().1, ";");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers_unprefix() {
+        let toks = lex("let r#type = 1;");
+        assert!(toks[1].is_ident("type"));
+    }
+
+    #[test]
+    fn numbers_with_ranges_and_exponents() {
+        let toks = kinds("0..4 1.5e-6 0xCE11 3u64");
+        let nums: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(nums, ["0", "4", "1.5e-6", "0xCE11", "3u64"]);
+    }
+}

@@ -1,0 +1,154 @@
+//! # saga-lint
+//!
+//! A workspace-aware static-analysis pass enforcing the source-level
+//! invariants every performance PR since the kernel rebuild rests on — the
+//! ones `rustc`/`clippy` cannot see because they are *project* contracts,
+//! not language contracts:
+//!
+//! 1. **determinism** (`nondet-collection`, `nondet-time`, `nondet-rng`) —
+//!    result-producing crates stay bit-identical for any
+//!    `RAYON_NUM_THREADS`, so they must not consult hash-order collections,
+//!    wall clocks, or RNG streams that aren't plumbed from configured
+//!    seeds;
+//! 2. **hot-path allocation** (`hot-alloc`) — the scheduling kernel, the
+//!    incremental path, scheduler `run` entry points and the annealer inner
+//!    loop stay allocation-free after warm-up;
+//! 3. **error discipline** (`error-discipline`) — IO/checkpoint/parse
+//!    library paths propagate `io::Error` instead of aborting mid-grid;
+//! 4. **env-toggle registry** (`env-registry`) — every literal
+//!    `env::var("NAME")` read is declared in ARCHITECTURE.md's registry
+//!    table, and every declared toggle is actually read.
+//!
+//! Violations are silenced only by an inline
+//! `// saga-lint: allow(<rule>) — <reason>` with a mandatory reason.
+//! See ARCHITECTURE.md → "Machine-checked invariants" for the contract and
+//! `cargo run -p saga-lint` for the CI gate.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod registry;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+use config::Config;
+use diag::{Finding, Report};
+use rules::{EnvRead, FileKind};
+use scan::FileScan;
+use std::path::Path;
+
+/// Lints the workspace rooted at `root` under `cfg`. IO errors (unreadable
+/// files) surface as errors; lint findings land in the [`Report`].
+pub fn lint_root(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let mut env_reads: Vec<EnvRead> = Vec::new();
+    let mut suppressions_by_file = Vec::new();
+
+    for file in workspace::discover(root, &cfg.skip)? {
+        let src = std::fs::read_to_string(&file.abs)?;
+        let force_test = matches!(file.kind, FileKind::Test | FileKind::Bench);
+        let scan = FileScan::new(&src, force_test);
+        let outcome = rules::lint_file(&file.rel, file.kind, &scan, cfg);
+        report.files_scanned += 1;
+        report.suppressed += outcome.suppressed;
+        report.findings.extend(outcome.findings);
+        env_reads.extend(outcome.env_reads);
+        suppressions_by_file.push((file.rel.clone(), outcome.suppressions));
+    }
+
+    cross_check_registry(root, cfg, &env_reads, &suppressions_by_file, &mut report)?;
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// The env-registry cross-check, both directions.
+fn cross_check_registry(
+    root: &Path,
+    cfg: &Config,
+    env_reads: &[EnvRead],
+    suppressions_by_file: &[(String, Vec<scan::Suppression>)],
+    report: &mut Report,
+) -> std::io::Result<()> {
+    let doc_path = root.join(cfg.registry_doc);
+    let doc = match std::fs::read_to_string(&doc_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let reg = registry::parse(&doc);
+    if !reg.found {
+        report.findings.push(Finding {
+            file: cfg.registry_doc.to_string(),
+            line: 1,
+            col: 1,
+            rule: "env-registry",
+            message: "no `Env-toggle registry` table found — every runtime \
+                      env read must be declared there"
+                .to_string(),
+        });
+        return Ok(());
+    }
+    for read in env_reads {
+        if reg.declares(&read.name) {
+            continue;
+        }
+        let sups = suppressions_by_file
+            .iter()
+            .find(|(f, _)| f == &read.file)
+            .map(|(_, s)| s.as_slice())
+            .unwrap_or(&[]);
+        if rules::suppressed_at(sups, "env-registry", read.line) {
+            report.suppressed += 1;
+        } else {
+            report.findings.push(Finding {
+                file: read.file.clone(),
+                line: read.line,
+                col: read.col,
+                rule: "env-registry",
+                message: format!(
+                    "env read `{}` is not declared in {}'s env-toggle \
+                     registry table",
+                    read.name, cfg.registry_doc
+                ),
+            });
+        }
+    }
+    for entry in &reg.entries {
+        if !env_reads.iter().any(|r| r.name == entry.name) {
+            report.findings.push(Finding {
+                file: cfg.registry_doc.to_string(),
+                line: entry.line,
+                col: 1,
+                rule: "env-registry",
+                message: format!(
+                    "registry declares `{}` but no source file reads it — \
+                     remove the stale row or restore the toggle",
+                    entry.name
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

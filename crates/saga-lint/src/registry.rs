@@ -1,0 +1,133 @@
+//! The env-toggle registry: a markdown table in ARCHITECTURE.md that
+//! declares every environment variable the workspace reads at runtime.
+//!
+//! The linter parses the table and cross-checks it against the source in
+//! both directions — an undeclared read and a declared-but-never-read row
+//! are both findings — so the docs cannot drift from the code.
+
+/// One declared toggle.
+#[derive(Debug, Clone)]
+pub struct RegistryEntry {
+    /// The variable name, e.g. `SAGA_NO_INCREMENTAL`.
+    pub name: String,
+    /// 1-based line of its table row in the registry document.
+    pub line: u32,
+}
+
+/// The parsed registry (possibly absent).
+#[derive(Debug, Default)]
+pub struct Registry {
+    /// Declared toggles in table order.
+    pub entries: Vec<RegistryEntry>,
+    /// True when the registry heading was found at all.
+    pub found: bool,
+}
+
+impl Registry {
+    /// True if `name` is declared.
+    pub fn declares(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+}
+
+/// Parses the registry table out of the markdown text: the first table
+/// following a heading that contains "Env-toggle registry". A row declares
+/// the backtick-quoted ALL_CAPS name in its first cell.
+pub fn parse(markdown: &str) -> Registry {
+    let mut reg = Registry::default();
+    let mut in_section = false;
+    let mut in_table = false;
+    for (idx, raw) in markdown.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('#') {
+            if in_table {
+                break;
+            }
+            in_section = line.to_ascii_lowercase().contains("env-toggle registry");
+            if in_section {
+                reg.found = true;
+            }
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        if let Some(row) = line.strip_prefix('|') {
+            in_table = true;
+            let first_cell = row.split('|').next().unwrap_or("");
+            if let Some(name) = backticked_caps(first_cell) {
+                reg.entries.push(RegistryEntry {
+                    name,
+                    line: idx as u32 + 1,
+                });
+            }
+        } else if in_table && !line.is_empty() {
+            break; // table ended
+        }
+    }
+    reg
+}
+
+/// Extracts `` `NAME` `` from a table cell if NAME is ALL_CAPS_WITH_DIGITS.
+fn backticked_caps(cell: &str) -> Option<String> {
+    let start = cell.find('`')?;
+    let rest = &cell[start + 1..];
+    let end = rest.find('`')?;
+    let name = &rest[..end];
+    is_env_name(name).then(|| name.to_string())
+}
+
+/// Is `name` shaped like an environment toggle (`[A-Z][A-Z0-9_]*`)?
+pub fn is_env_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "\
+# Architecture
+
+## Env-toggle registry
+
+| Variable | Read in | Effect |
+|----------|---------|--------|
+| `SAGA_NO_INCREMENTAL` | `saga-core::incremental` | full rebuild |
+| `RAYON_NUM_THREADS` | `vendor/rayon` | worker count |
+
+## Next section
+
+| `NOT_A_TOGGLE` | other table |
+";
+
+    #[test]
+    fn parses_names_and_lines() {
+        let reg = parse(DOC);
+        assert!(reg.found);
+        let names: Vec<&str> = reg.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["SAGA_NO_INCREMENTAL", "RAYON_NUM_THREADS"]);
+        assert_eq!(reg.entries[0].line, 7);
+        assert!(reg.declares("RAYON_NUM_THREADS"));
+        assert!(!reg.declares("NOT_A_TOGGLE"));
+    }
+
+    #[test]
+    fn missing_registry_reports_not_found() {
+        let reg = parse("# Nothing here\n\njust prose\n");
+        assert!(!reg.found);
+        assert!(reg.entries.is_empty());
+    }
+
+    #[test]
+    fn env_name_shape() {
+        assert!(is_env_name("SAGA_X1"));
+        assert!(!is_env_name("Saga"));
+        assert!(!is_env_name(""));
+        assert!(!is_env_name("A-B"));
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: aborts on an IO/parse path in library code (linted as
+// engine.rs). Expected: 3× error-discipline — .unwrap(), .expect(), panic!.
+pub fn load(path: &std::path::Path) -> String {
+    let text = std::fs::read_to_string(path).unwrap();
+    let first = text.lines().next().expect("file is non-empty");
+    if first.is_empty() {
+        panic!("empty header line");
+    }
+    first.to_string()
+}

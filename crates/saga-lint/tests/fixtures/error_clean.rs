@@ -1,0 +1,20 @@
+// Fixture: the sanctioned error-path idioms — `?` propagation and
+// poison recovery via `unwrap_or_else` (a distinct identifier the rule
+// must not confuse with `unwrap`). Expected: 0 findings.
+use std::sync::Mutex;
+
+pub fn load(path: &std::path::Path) -> std::io::Result<String> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .next()
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "empty file")
+        })?
+        .to_string())
+}
+
+pub fn record(slot: &Mutex<Vec<String>>, line: String) {
+    let mut rows = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    rows.push(line);
+}

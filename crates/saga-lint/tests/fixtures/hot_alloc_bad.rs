@@ -1,0 +1,13 @@
+// Fixture: allocation in a whole-file hot path (linted as kernel.rs).
+// Expected: 5× hot-alloc — Vec::new, vec!, .collect(), format!, .clone().
+pub fn place(tasks: &[u64]) -> Vec<u64> {
+    let mut timeline: Vec<u64> = Vec::new();
+    let seed = vec![0u64; 4];
+    let doubled: Vec<u64> = tasks.iter().map(|t| t * 2).collect();
+    let label = format!("{} tasks", tasks.len());
+    let copy = doubled.clone();
+    timeline.extend_from_slice(&seed);
+    timeline.extend_from_slice(&copy);
+    let _ = label;
+    timeline
+}

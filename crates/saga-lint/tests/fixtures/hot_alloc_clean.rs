@@ -1,0 +1,27 @@
+// Fixture: a scheduler-crate file under the fn-scoped deny list
+// (`run`/`run_recorded`). Allocation in the constructor is fine; the hot
+// entry points only reuse scratch buffers. Expected: 0 findings.
+pub struct Sweep {
+    scratch: Vec<f64>,
+}
+
+impl Sweep {
+    pub fn new(n: usize) -> Self {
+        // allocation is fine here: construction is not a deny-listed fn
+        Sweep {
+            scratch: vec![0.0; n],
+        }
+    }
+
+    pub fn run(&mut self, costs: &[f64]) -> f64 {
+        self.scratch.clear();
+        let mut best = f64::INFINITY;
+        for &c in costs {
+            self.scratch.push(c);
+            if c < best {
+                best = c;
+            }
+        }
+        best
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: every determinism-family violation, linted as if it lived in a
+// result-producing crate. Expected: 3× nondet-collection, 1× nondet-time,
+// 2× nondet-rng (entropy construction + unplumbed literal seed).
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u64]) -> HashMap<u64, usize> {
+    let started = std::time::Instant::now();
+    let mut rng = rand::rngs::StdRng::from_entropy();
+    let mut alt = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+    let _ = (started, &mut rng, &mut alt);
+    let mut out = HashMap::new();
+    for &x in xs {
+        *out.entry(x).or_insert(0) += 1;
+    }
+    out
+}

@@ -1,0 +1,30 @@
+// Fixture: deterministic code in a result-producing crate — ordered
+// collections, RNG streams plumbed from a configured seed, and hash
+// collections confined to test-gated code. Expected: 0 findings.
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u64], seed: u64, k: u64) -> BTreeMap<u64, usize> {
+    let _rng =
+        <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(derive_seed(seed, k));
+    let mut out = BTreeMap::new();
+    for &x in xs {
+        *out.entry(x).or_insert(0) += 1;
+    }
+    out
+}
+
+fn derive_seed(seed: u64, k: u64) -> u64 {
+    seed ^ k
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn hash_order_is_fine_in_tests() {
+        let _t = Instant::now();
+        let _m: HashMap<u64, u64> = HashMap::new();
+    }
+}

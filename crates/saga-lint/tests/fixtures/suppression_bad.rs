@@ -1,0 +1,11 @@
+// Fixture: every way a suppression itself can be wrong. Expected:
+// 1× suppression-missing-reason (and the hot-alloc it failed to earn),
+// 1× suppression-unknown-rule, 1× suppression-malformed.
+pub fn place(n: usize) -> Vec<u64> {
+    // saga-lint: allow(hot-alloc)
+    let mut out: Vec<u64> = Vec::new();
+    // saga-lint: allow(no-such-rule) — the rule name is checked too
+    out.reserve(n);
+    // saga-lint: disable(hot-alloc) — wrong verb, not the allow() grammar
+    out
+}
