@@ -1,0 +1,95 @@
+//! Scalar vs lane-batched EFT/data-ready kernels at lockstep lane widths.
+//!
+//! The lockstep batch runtime (PR 7) interleaves K independent annealing
+//! lanes, each with its own [`SchedContext`]; the scheduling kernels it
+//! leans on answer the same two questions the scalar path asks — "when
+//! does `t`'s data arrive on each node?" and "what is `t`'s EFT on each
+//! node?" — but sweep all nodes per task in one batched pass
+//! ([`SchedContext::data_ready_times_into`], SIMD-folded arrivals) instead
+//! of re-scanning the predecessor row once per node
+//! ([`SchedContext::data_ready_time`] via [`SchedContext::eft`]).
+//!
+//! * `eft/scalar_k{K}_{T}t` — per-node `ctx.eft` queries, the pre-batch
+//!   formulation: every node visit rescans `t`'s predecessors.
+//! * `eft/batched_k{K}_{T}t` — one `data_ready_times_into` pass per task,
+//!   then per-node append starts from the shared ready row — the
+//!   formulation the shipped schedulers and the lockstep lanes drive.
+//!
+//! K ∈ {1, 4, 8} lanes crossed with {5, 50}-task instances: the tiny shape
+//! mirrors the fig4 quick cells (3–5 tasks), the 50-task shape the
+//! acceptance-criteria workload; each lane holds a half-placed instance so
+//! queries see realistic timelines and predecessor fans.
+//!
+//! Set `BENCH_JSON=results/bench.json` to append machine-readable medians.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saga_core::{Instance, NodeId, SchedContext, TaskId};
+use saga_schedulers::util::fixtures;
+use std::hint::black_box;
+
+/// One lane: a half-placed instance with its warm context and the ready
+/// tasks to probe.
+struct Lane {
+    ctx: SchedContext,
+    probe: Vec<TaskId>,
+}
+
+fn lanes(k: usize, tasks: usize) -> Vec<Lane> {
+    (0..k)
+        .map(|lane| {
+            let inst: Instance = fixtures::random_instance(0xEF7 + lane as u64, tasks, 4, 0.15);
+            let mut ctx = SchedContext::new();
+            ctx.reset(&inst);
+            let order: Vec<_> = ctx.topo_order().to_vec();
+            for &t in order.iter().take(order.len() / 2) {
+                let (s, _) = ctx.eft(t, NodeId(t.0 % 4), false);
+                ctx.place(t, NodeId(t.0 % 4), s);
+            }
+            let probe = ctx.ready().to_vec();
+            Lane { ctx, probe }
+        })
+        .collect()
+}
+
+fn bench_eft_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eft");
+    for tasks in [5usize, 50] {
+        for k in [1usize, 4, 8] {
+            let mut set = lanes(k, tasks);
+            group.bench_function(format!("scalar_k{k}_{tasks}t"), |b| {
+                b.iter(|| {
+                    let mut acc = 0.0f64;
+                    for lane in &set {
+                        for &t in &lane.probe {
+                            for v in lane.ctx.nodes() {
+                                acc += lane.ctx.eft(t, v, false).1;
+                            }
+                        }
+                    }
+                    black_box(acc)
+                })
+            });
+            group.bench_function(format!("batched_k{k}_{tasks}t"), |b| {
+                let mut ready = [0.0f64; 8];
+                b.iter(|| {
+                    let mut acc = 0.0f64;
+                    for lane in &mut set {
+                        let nv = lane.ctx.node_count();
+                        for &t in &lane.probe {
+                            lane.ctx.data_ready_times_into(t, &mut ready[..nv]);
+                            for v in lane.ctx.nodes() {
+                                let start = lane.ctx.earliest_start_append(v, ready[v.index()]);
+                                acc += start + lane.ctx.exec_time(t, v);
+                            }
+                        }
+                    }
+                    black_box(acc)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eft_kernels);
+criterion_main!(benches);

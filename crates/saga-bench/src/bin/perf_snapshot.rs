@@ -8,11 +8,11 @@
 //! ```
 
 use rand::rngs::StdRng;
-use saga_core::{Instance, SchedContext};
+use saga_core::{BatchedSchedContext, Instance, SchedContext};
 use saga_experiments::benchmarking;
 use saga_experiments::engine::BatchEngine;
 use saga_pisa::annealer::AnnealScratch;
-use saga_pisa::{pairwise_cells, GeneralPerturber, Pisa, PisaConfig};
+use saga_pisa::{pairwise_cells, GeneralPerturber, Pisa, PisaConfig, SearchCell};
 use saga_schedulers::util::fixtures;
 use saga_schedulers::Scheduler;
 use std::hint::black_box;
@@ -126,7 +126,77 @@ fn fig4_quick_cells_per_s(threads: usize) -> f64 {
     cells.len() as f64 / (ms / 1e3)
 }
 
+/// The quick fig4 battery on the batch runtime's two execution paths,
+/// bypassing the `SAGA_NO_BATCH` toggle (which is latched once per
+/// process): `scalar` loops every cell through `SearchCell::run` with one
+/// warm context — the exact shape the planners take with batching disabled
+/// — and `lockstep` packs cells into lane groups the way `plan_units`
+/// does and drives `run_cells_lockstep`. Results are bit-identical between
+/// the two; only throughput differs. Returns `(scalar, lockstep)` in
+/// cells per second.
+fn fig4_quick_batch_paths_cells_per_s() -> (f64, f64) {
+    let schedulers = saga_schedulers::benchmark_schedulers();
+    let cells = pairwise_cells(
+        &schedulers,
+        PisaConfig {
+            i_max: 250,
+            restarts: 2,
+            seed: 0xF164,
+            ..PisaConfig::default()
+        },
+    );
+    let mut ctx = SchedContext::new();
+    let mut scratch = AnnealScratch::default();
+    let scalar_ms = time_ms(|| {
+        for cell in &cells {
+            black_box(cell.run(&mut ctx, &mut scratch).ratio);
+        }
+    });
+    let mut batch = BatchedSchedContext::default();
+    let lockstep_ms = time_ms(|| {
+        let mut group: Vec<&SearchCell> = Vec::new();
+        let mut lanes = 0usize;
+        for cell in &cells {
+            if !saga_pisa::lockstep_supported(cell) {
+                black_box(cell.run(&mut ctx, &mut scratch).ratio);
+                continue;
+            }
+            if lanes + cell.config.restarts > saga_pisa::LANE_BUDGET && !group.is_empty() {
+                black_box(saga_pisa::run_cells_lockstep(&mut batch, &group));
+                group.clear();
+                lanes = 0;
+            }
+            group.push(cell);
+            lanes += cell.config.restarts;
+        }
+        if !group.is_empty() {
+            black_box(saga_pisa::run_cells_lockstep(&mut batch, &group));
+        }
+    });
+    let n = cells.len() as f64;
+    (n / (scalar_ms / 1e3), n / (lockstep_ms / 1e3))
+}
+
 fn main() {
+    // `--fig4` restricts the snapshot to the quick-fig4 throughput rows —
+    // the tight loop used when comparing builds under the BENCH protocol.
+    let fig4_only = std::env::args().any(|a| a == "--fig4");
+    if fig4_only {
+        let mut out = Vec::new();
+        out.push((
+            "fig4_quick_cells_run_cells_1t_cells_per_s",
+            fig4_quick_cells_per_s(1),
+        ));
+        let (scalar, lockstep) = fig4_quick_batch_paths_cells_per_s();
+        out.push(("fig4_quick_cells_scalar_pooled_1t_cells_per_s", scalar));
+        out.push(("fig4_quick_cells_lockstep_1t_cells_per_s", lockstep));
+        let fields: Vec<String> = out
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v:.4}"))
+            .collect();
+        println!("{{\n{}\n}}", fields.join(",\n"));
+        return;
+    }
     let inst50 = fixtures::random_instance(42, 50, 4, 0.15);
     let mut out = Vec::new();
 
@@ -191,6 +261,11 @@ fn main() {
         "fig4_quick_cells_run_cells_4t_cells_per_s",
         fig4_quick_cells_per_s(4),
     ));
+
+    // the batch runtime's two paths head to head (same cells, same bits)
+    let (scalar, lockstep) = fig4_quick_batch_paths_cells_per_s();
+    out.push(("fig4_quick_cells_scalar_pooled_1t_cells_per_s", scalar));
+    out.push(("fig4_quick_cells_lockstep_1t_cells_per_s", lockstep));
 
     let fields: Vec<String> = out
         .iter()

@@ -58,6 +58,56 @@ fn bits_eq_costs(g: &crate::TaskGraph, snap: &[f64]) -> bool {
             .all(|(t, s)| g.cost(t).to_bits() == s.to_bits())
 }
 
+/// Whether this process may run the 4-wide AVX instantiations of the
+/// node-axis kernels; detected once. (Only the *width* changes with the
+/// answer: both instantiations compile the same elementwise loop, and IEEE
+/// `f64` add/div are exactly rounded at any width, so results are
+/// bit-identical either way.)
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn wide_kernels() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+}
+
+/// The data-ready arrivals fold over one sender's link row:
+/// `out[v] = max(out[v], f + cost / row[v])` for every node `v`. The
+/// explicit-width entry points below instantiate exactly this loop, so both
+/// paths fold identical expressions in identical order.
+#[inline(always)]
+fn fold_arrivals_elementwise(out: &mut [f64], row: &[f64], f: f64, cost: f64) {
+    for (r, &link) in out.iter_mut().zip(row) {
+        let arrival = f + cost / link;
+        *r = r.max(arrival);
+    }
+}
+
+/// [`fold_arrivals_elementwise`] compiled with AVX enabled: the
+/// autovectorizer emits 4-lane `f64` add/div/max over the row instead of
+/// the baseline 2-lane SSE.
+///
+/// # Safety
+/// The caller must have verified AVX support (see [`wide_kernels`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn fold_arrivals_avx(out: &mut [f64], row: &[f64], f: f64, cost: f64) {
+    fold_arrivals_elementwise(out, row, f, cost);
+}
+
+/// Runtime-dispatched arrivals fold: 4-wide AVX when the CPU has it, the
+/// portable loop otherwise. Bit-identical across the two (exactly-rounded
+/// elementwise IEEE ops; no reassociation, no FMA contraction).
+#[inline]
+fn fold_arrivals(out: &mut [f64], row: &[f64], f: f64, cost: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if wide_kernels() {
+        // SAFETY: gated on runtime AVX detection above
+        unsafe { fold_arrivals_avx(out, row, f, cost) };
+        return;
+    }
+    fold_arrivals_elementwise(out, row, f, cost);
+}
+
 /// A placed interval on a node timeline.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Slot {
@@ -920,10 +970,7 @@ impl SchedContext {
             // `f + cost / row[v]`.
             let keep = out[pn];
             let row = &self.links[pn * self.n_nodes..][..self.n_nodes];
-            for (r, &link) in out.iter_mut().zip(row) {
-                let arrival = f + cost / link;
-                *r = r.max(arrival);
-            }
+            fold_arrivals(out, row, f, cost);
             out[pn] = keep.max(f);
         }
     }
@@ -978,15 +1025,14 @@ impl SchedContext {
         (start, start + duration)
     }
 
-    /// Current makespan over placed tasks.
+    /// Current makespan over placed tasks. Every placed task sits on
+    /// exactly one node timeline and `max_finish` is maintained per
+    /// placement, so folding the per-node maxima visits `|V|` entries
+    /// instead of scanning (and epoch-filtering) every task's finish slot —
+    /// same value set under the same `f64::max` fold from `0.0`, so the
+    /// result is bit-identical.
     pub fn current_makespan(&self) -> f64 {
-        let epoch = self.epoch;
-        self.finish
-            .iter()
-            .zip(&self.placed_epoch)
-            .filter(|&(_, &p)| p == epoch)
-            .map(|(&f, _)| f)
-            .fold(0.0, f64::max)
+        self.max_finish.iter().copied().fold(0.0, f64::max)
     }
 
     // ---- mutation ----

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 mod builder;
 pub mod dist;
 mod error;
@@ -29,6 +30,7 @@ mod schedule;
 mod seed;
 pub mod stochastic;
 
+pub use batch::{batch_enabled, BatchedSchedContext};
 pub use builder::ScheduleBuilder;
 pub use error::{GraphError, ScheduleError};
 pub use graph::{DepEdge, TaskGraph};

@@ -26,7 +26,7 @@
 //!   `eprintln!` assumed sequential execution).
 
 use rayon::prelude::*;
-use saga_core::{ContextPool, Instance, SchedContext};
+use saga_core::{BatchedSchedContext, ContextPool, Instance, SchedContext};
 use saga_pisa::annealer::AnnealScratch;
 use saga_pisa::{PisaResult, SearchCell};
 use saga_schedulers::Scheduler;
@@ -159,45 +159,86 @@ impl BatchEngine {
         use std::sync::atomic::{AtomicBool, Ordering};
         let write_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
         let failed = AtomicBool::new(false);
-        let results: Vec<Option<PisaResult>> = cells
+        let note_write_error = |e: std::io::Error| {
+            // a poisoned slot still holds a coherent Option; recover it
+            // rather than abort
+            let mut slot = write_error
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+            failed.store(true, Ordering::Relaxed);
+        };
+        // Eligible pairwise cells run in lockstep lane groups; everything
+        // else — other cell kinds, oversized restart counts, cells the
+        // checkpoint will replay, `SAGA_NO_BATCH` — takes the scalar path.
+        // The plan never changes results (both paths are bit-identical), so
+        // resumed runs may group differently than the original run did.
+        let units = saga_pisa::plan_units(cells, |_, cell| {
+            checkpoint.is_none_or(|c| c.stored(&cell.key()).is_none())
+        });
+        let finish = |key: &str, res: PisaResult| {
+            if let Some(c) = checkpoint {
+                if let Err(e) = c.record(key, &res) {
+                    note_write_error(e);
+                }
+            }
+            if let Some(p) = progress {
+                p.tick();
+            }
+            Some(res)
+        };
+        let mut by_unit: Vec<Vec<(usize, Option<PisaResult>)>> = units
             .par_iter()
             .map_init(
-                || (self.pool.take(), AnnealScratch::default()),
-                |(ctx, scratch), cell| {
+                || {
+                    (
+                        self.pool.take(),
+                        AnnealScratch::default(),
+                        BatchedSchedContext::default(),
+                    )
+                },
+                |(ctx, scratch, batch), unit| {
                     // once a write failed, the run's results can never all be
                     // returned — don't burn hours annealing cells that would
                     // be thrown away with the error
                     if failed.load(Ordering::Relaxed) {
-                        return None;
+                        return unit.indices().iter().map(|&i| (i, None)).collect();
                     }
-                    let key = cell.key();
-                    let res = match checkpoint.and_then(|c| c.stored(&key)) {
-                        Some(stored) => stored,
-                        None => {
-                            let res = cell.run(ctx, scratch);
-                            if let Some(c) = checkpoint {
-                                if let Err(e) = c.record(&key, &res) {
-                                    // a poisoned slot still holds a coherent
-                                    // Option; recover it rather than abort
-                                    let mut slot = write_error
-                                        .lock()
-                                        .unwrap_or_else(|poisoned| poisoned.into_inner());
-                                    if slot.is_none() {
-                                        *slot = Some(e);
+                    match unit {
+                        saga_pisa::ExecUnit::Scalar(i) => {
+                            let cell = &cells[*i];
+                            let key = cell.key();
+                            let res = match checkpoint.and_then(|c| c.stored(&key)) {
+                                Some(stored) => {
+                                    // replayed, not re-recorded: the file
+                                    // already holds this line
+                                    if let Some(p) = progress {
+                                        p.tick();
                                     }
-                                    failed.store(true, Ordering::Relaxed);
+                                    Some(stored)
                                 }
-                            }
-                            res
+                                None => finish(&key, cell.run(ctx, scratch)),
+                            };
+                            vec![(*i, res)]
                         }
-                    };
-                    if let Some(p) = progress {
-                        p.tick();
+                        saga_pisa::ExecUnit::Lockstep(idxs) => {
+                            let group: Vec<&SearchCell> = idxs.iter().map(|&i| &cells[i]).collect();
+                            let results = saga_pisa::run_cells_lockstep(batch, &group);
+                            idxs.iter()
+                                .zip(results)
+                                .map(|(&i, res)| (i, finish(&cells[i].key(), res)))
+                                .collect()
+                        }
                     }
-                    Some(res)
                 },
             )
             .collect();
+        let mut results: Vec<Option<PisaResult>> = cells.iter().map(|_| None).collect();
+        for (i, res) in by_unit.drain(..).flatten() {
+            results[i] = res;
+        }
         let first_error = write_error
             .into_inner()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
