@@ -12,13 +12,18 @@
 //! * `eft/scalar_k{K}_{T}t` — per-node `ctx.eft` queries, the pre-batch
 //!   formulation: every node visit rescans `t`'s predecessors.
 //! * `eft/batched_k{K}_{T}t` — one `data_ready_times_into` pass per task,
-//!   then per-node append starts from the shared ready row — the
-//!   formulation the shipped schedulers and the lockstep lanes drive.
+//!   then per-node append starts from the shared ready row — the PR-7
+//!   formulation.
+//! * `eft/fused_k{K}_{T}t` — one [`SchedContext::eft_row_append_into`] call
+//!   per task: the batched ready pass plus a branchless tail/exec compose
+//!   over the whole node row — the formulation the shipped schedulers
+//!   drive when the row kernels are enabled.
 //!
-//! K ∈ {1, 4, 8} lanes crossed with {5, 50}-task instances: the tiny shape
-//! mirrors the fig4 quick cells (3–5 tasks), the 50-task shape the
-//! acceptance-criteria workload; each lane holds a half-placed instance so
-//! queries see realistic timelines and predecessor fans.
+//! K ∈ {1, 4, 8} lanes crossed with {5, 50, 250}-task instances: the tiny
+//! shape mirrors the fig4 quick cells (3–5 tasks), the 50-task shape the
+//! acceptance-criteria workload, the 250-task shape the sweep-latency
+//! regime; each lane holds a half-placed instance so queries see realistic
+//! timelines and predecessor fans.
 //!
 //! Set `BENCH_JSON=results/bench.json` to append machine-readable medians.
 
@@ -53,7 +58,7 @@ fn lanes(k: usize, tasks: usize) -> Vec<Lane> {
 
 fn bench_eft_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("eft");
-    for tasks in [5usize, 50] {
+    for tasks in [5usize, 50, 250] {
         for k in [1usize, 4, 8] {
             let mut set = lanes(k, tasks);
             group.bench_function(format!("scalar_k{k}_{tasks}t"), |b| {
@@ -80,6 +85,24 @@ fn bench_eft_kernels(c: &mut Criterion) {
                             for v in lane.ctx.nodes() {
                                 let start = lane.ctx.earliest_start_append(v, ready[v.index()]);
                                 acc += start + lane.ctx.exec_time(t, v);
+                            }
+                        }
+                    }
+                    black_box(acc)
+                })
+            });
+            group.bench_function(format!("fused_k{k}_{tasks}t"), |b| {
+                let mut starts = [0.0f64; 8];
+                let mut finishes = [0.0f64; 8];
+                b.iter(|| {
+                    let mut acc = 0.0f64;
+                    for lane in &mut set {
+                        let nv = lane.ctx.node_count();
+                        for &t in &lane.probe {
+                            lane.ctx
+                                .eft_row_append_into(t, &mut starts[..nv], &mut finishes[..nv]);
+                            for &f in &finishes[..nv] {
+                                acc += f;
                             }
                         }
                     }

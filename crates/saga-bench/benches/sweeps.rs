@@ -2,7 +2,10 @@
 //! a ready-frontier sweep (MinMin, MaxMin, ETF from PR 2; ERT, GDL, WBA,
 //! FLB ported in PR 3) at 50, 100 and 250 tasks, with a reused context —
 //! the single-core latency these ports exist to improve. GDL was the
-//! slowest sweep before its port; watch that row.
+//! slowest sweep before its port; watch that row. HEFT and CPoP ride along
+//! at the same sizes: they are rank-ordered rather than frontier-swept, but
+//! their insertion-policy EFT scans share the fused row kernels (PR 8), so
+//! their latencies belong on the same chart.
 //!
 //! Set `BENCH_JSON=results/bench.json` to append machine-readable medians.
 
@@ -14,7 +17,7 @@ use std::hint::black_box;
 
 fn bench_sweeps(c: &mut Criterion) {
     let sizes = [50usize, 100, 250];
-    let sweeps: [&dyn Scheduler; 7] = [
+    let sweeps: [&dyn Scheduler; 9] = [
         &saga_schedulers::MinMin,
         &saga_schedulers::MaxMin,
         &saga_schedulers::Etf,
@@ -22,6 +25,8 @@ fn bench_sweeps(c: &mut Criterion) {
         &saga_schedulers::Gdl,
         &saga_schedulers::Wba { seed: 0xB1 },
         &saga_schedulers::Flb,
+        &saga_schedulers::Heft,
+        &saga_schedulers::Cpop,
     ];
     let mut group = c.benchmark_group("sweeps");
     for &tasks in &sizes {

@@ -177,7 +177,91 @@ fn fig4_quick_batch_paths_cells_per_s() -> (f64, f64) {
     (n / (scalar_ms / 1e3), n / (lockstep_ms / 1e3))
 }
 
+/// Warm-context sweep latency: `makespan_into` against a reused
+/// `SchedContext` with pinned tables — the annealer's evaluation shape,
+/// isolating the selection loops from per-call allocation and table
+/// builds.
+fn sched_sweep_ms(s: &dyn Scheduler, inst: &Instance, reps: usize) -> f64 {
+    let mut ctx = SchedContext::new();
+    ctx.pin_tables(inst);
+    black_box(s.makespan_into(inst, &mut ctx));
+    let ms = time_ms(|| {
+        for _ in 0..reps {
+            black_box(s.makespan_into(black_box(inst), &mut ctx));
+        }
+    }) / reps as f64;
+    ctx.unpin_tables();
+    ms
+}
+
+/// The PR-8 BENCH protocol rows in one pass: quick 50-task PISA cells,
+/// 50- and 250-task warm-context sweep latencies for the acceptance
+/// schedulers, and the shipped quick-fig4 path. One invocation = one
+/// sample; the driver script interleaves invocations of the two builds and
+/// takes medians.
+fn pr8_rows() -> Vec<(&'static str, f64)> {
+    let inst50 = fixtures::random_instance(42, 50, 4, 0.15);
+    let inst250 = fixtures::random_instance(42, 250, 4, 0.15);
+    // warm-up pass so the first measurement is not paying page faults
+    black_box(saga_schedulers::Heft.schedule(&inst50).makespan());
+    let mut out = Vec::new();
+    out.push((
+        "pisa_cell_quick_heft_vs_cpop_ms",
+        pisa_cell_ms(&saga_schedulers::Heft, &saga_schedulers::Cpop),
+    ));
+    out.push((
+        "pisa_cell_quick_minmin_vs_etf_ms",
+        pisa_cell_ms(&saga_schedulers::MinMin, &saga_schedulers::Etf),
+    ));
+    let rows: [(&dyn Scheduler, &str, &str); 3] = [
+        (
+            &saga_schedulers::Heft,
+            "sched_heft_50t_sweep_ms",
+            "sched_heft_250t_sweep_ms",
+        ),
+        (
+            &saga_schedulers::Cpop,
+            "sched_cpop_50t_sweep_ms",
+            "sched_cpop_250t_sweep_ms",
+        ),
+        (
+            &saga_schedulers::Etf,
+            "sched_etf_50t_sweep_ms",
+            "sched_etf_250t_sweep_ms",
+        ),
+    ];
+    for (s, l50, l250) in rows {
+        out.push((l50, sched_sweep_ms(s, &inst50, 400)));
+        out.push((l250, sched_sweep_ms(s, &inst250, 50)));
+    }
+    // 16-node variants: wide enough for the fused row formulation's
+    // vectorized compose (the 4-node rows above sit in the scalar regime)
+    let inst250w = fixtures::random_instance(42, 250, 16, 0.15);
+    let wide: [(&dyn Scheduler, &str); 3] = [
+        (&saga_schedulers::Heft, "sched_heft_250t_16n_sweep_ms"),
+        (&saga_schedulers::Cpop, "sched_cpop_250t_16n_sweep_ms"),
+        (&saga_schedulers::Etf, "sched_etf_250t_16n_sweep_ms"),
+    ];
+    for (s, label) in wide {
+        out.push((label, sched_sweep_ms(s, &inst250w, 50)));
+    }
+    out.push((
+        "fig4_quick_cells_run_cells_1t_cells_per_s",
+        fig4_quick_cells_per_s(1),
+    ));
+    out
+}
+
 fn main() {
+    // `--pr8` restricts the snapshot to the PR-8 BENCH protocol rows.
+    if std::env::args().any(|a| a == "--pr8") {
+        let fields: Vec<String> = pr8_rows()
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v:.4}"))
+            .collect();
+        println!("{{\n{}\n}}", fields.join(",\n"));
+        return;
+    }
     // `--fig4` restricts the snapshot to the quick-fig4 throughput rows —
     // the tight loop used when comparing builds under the BENCH protocol.
     let fig4_only = std::env::args().any(|a| a == "--fig4");
@@ -228,6 +312,22 @@ fn main() {
     }
     let ert = saga_schedulers::by_name("ERT").expect("ERT in roster");
     out.push(("sched_ert_50t_ms", sched_throughput_ms(&*ert, &inst50, 50)));
+
+    // 250-task sweep latencies (PR 8's row-kernel regime) for the
+    // acceptance schedulers
+    let inst250 = fixtures::random_instance(42, 250, 4, 0.15);
+    out.push((
+        "sched_heft_250t_ms",
+        sched_throughput_ms(&saga_schedulers::Heft, &inst250, 10),
+    ));
+    out.push((
+        "sched_cpop_250t_ms",
+        sched_throughput_ms(&saga_schedulers::Cpop, &inst250, 10),
+    ));
+    out.push((
+        "sched_etf_250t_ms",
+        sched_throughput_ms(&saga_schedulers::Etf, &inst250, 10),
+    ));
 
     // fig2-class batch throughput (cells = instances; each cell runs all 15
     // schedulers): PR 2 sequential driver vs the batch engine at 1 and 4

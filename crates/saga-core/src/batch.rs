@@ -18,7 +18,9 @@
 //! cross-lane win there is locality (the driver evaluates lanes
 //! back-to-back, grouped by shape and scheduler pair, against contexts that
 //! stay cache-resident) while the node-axis scans inside one lane vectorize
-//! via the kernel's explicit-width loops.
+//! via the kernel's explicit-width loops — including the fused EFT row
+//! kernels ([`SchedContext::eft_row_into`]), which every lane evaluation
+//! reaches through the schedulers' own selection loops.
 //!
 //! Setting the environment variable `SAGA_NO_BATCH` (to anything but `0`)
 //! makes [`batch_enabled`] report false; the batch planners then route every

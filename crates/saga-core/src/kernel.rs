@@ -108,6 +108,168 @@ fn fold_arrivals(out: &mut [f64], row: &[f64], f: f64, cost: f64) {
     fold_arrivals_elementwise(out, row, f, cost);
 }
 
+/// Whether the fused EFT row kernels are enabled (the default). Set
+/// `SAGA_NO_EFT_ROW` (to anything but `0`) to force every scheduler down
+/// the scalar per-node query path, mirroring `SAGA_NO_INCREMENTAL` /
+/// `SAGA_NO_BATCH`; read once per process. Both paths are bit-identical —
+/// the golden suites run once with the toggle set and diff.
+pub fn eft_rows_enabled() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| match std::env::var_os("SAGA_NO_EFT_ROW") {
+        None => true,
+        Some(v) => v == "0",
+    })
+}
+
+/// The append-start/finish compose over one task's rows:
+/// `starts[v] = tails[v].max(starts[v])` (the data-ready row folded with
+/// the per-node append tail) and `finishes[v] = starts[v] + exec[v]`. The
+/// explicit-width entry points below instantiate exactly this loop.
+#[inline(always)]
+fn compose_rows_elementwise(starts: &mut [f64], finishes: &mut [f64], tails: &[f64], exec: &[f64]) {
+    for ((s, f), (&tail, &d)) in starts
+        .iter_mut()
+        .zip(finishes.iter_mut())
+        .zip(tails.iter().zip(exec))
+    {
+        let start = tail.max(*s);
+        *s = start;
+        *f = start + d;
+    }
+}
+
+/// [`compose_rows_elementwise`] compiled with AVX enabled (4-lane `f64`
+/// max/add instead of the baseline 2-lane SSE).
+///
+/// # Safety
+/// The caller must have verified AVX support (see [`wide_kernels`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn compose_rows_avx(starts: &mut [f64], finishes: &mut [f64], tails: &[f64], exec: &[f64]) {
+    compose_rows_elementwise(starts, finishes, tails, exec);
+}
+
+/// Runtime-dispatched append compose: 4-wide AVX when the CPU has it and
+/// the row is wide enough to amortize the outlined call (a
+/// `#[target_feature]` instantiation cannot inline into non-AVX callers),
+/// the portable loop otherwise. Bit-identical across the two
+/// (exactly-rounded elementwise IEEE max/add; no reassociation, no FMA
+/// contraction). Public for callers that cache their own data-ready rows
+/// (the schedulers' frontier sweeps) and compose them against
+/// [`SchedContext::append_tails`] themselves.
+#[inline]
+pub fn compose_append_rows(starts: &mut [f64], finishes: &mut [f64], tails: &[f64], exec: &[f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if starts.len() >= 8 && wide_kernels() {
+        // SAFETY: gated on runtime AVX detection above
+        unsafe { compose_rows_avx(starts, finishes, tails, exec) };
+        return;
+    }
+    compose_rows_elementwise(starts, finishes, tails, exec);
+}
+
+/// The copy-free variant of [`compose_append_rows`] for callers whose
+/// data-ready row lives in a cache they must not clobber (the frontier
+/// sweeps): reads `ready` instead of composing `starts` in place. Same
+/// elementwise expressions, same bits.
+#[inline(always)]
+fn compose_rows_from_elementwise(
+    ready: &[f64],
+    tails: &[f64],
+    exec: &[f64],
+    starts: &mut [f64],
+    finishes: &mut [f64],
+) {
+    for ((s, f), ((&r, &tail), &d)) in starts
+        .iter_mut()
+        .zip(finishes.iter_mut())
+        .zip(ready.iter().zip(tails).zip(exec))
+    {
+        let start = tail.max(r);
+        *s = start;
+        *f = start + d;
+    }
+}
+
+/// [`compose_rows_from_elementwise`] compiled with AVX enabled.
+///
+/// # Safety
+/// The caller must have verified AVX support (see [`wide_kernels`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn compose_rows_from_avx(
+    ready: &[f64],
+    tails: &[f64],
+    exec: &[f64],
+    starts: &mut [f64],
+    finishes: &mut [f64],
+) {
+    compose_rows_from_elementwise(ready, tails, exec, starts, finishes);
+}
+
+/// Runtime-dispatched copy-free append compose; dispatch rule and
+/// bit-identity exactly as [`compose_append_rows`].
+#[inline]
+pub fn compose_append_rows_from(
+    ready: &[f64],
+    tails: &[f64],
+    exec: &[f64],
+    starts: &mut [f64],
+    finishes: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if starts.len() >= 8 && wide_kernels() {
+        // SAFETY: gated on runtime AVX detection above
+        unsafe { compose_rows_from_avx(ready, tails, exec, starts, finishes) };
+        return;
+    }
+    compose_rows_from_elementwise(ready, tails, exec, starts, finishes);
+}
+
+/// Lowest-index argmin over a finish row — the tie-break every roster
+/// scheduler's per-node scan uses today: the first strict improvement wins,
+/// so equal finishes keep the lowest node id. NaN entries never displace an
+/// earlier candidate (`<` is false for them), matching the scalar
+/// comparators' behaviour exactly.
+///
+/// # Panics
+/// Panics (debug) on an empty row; returns node 0 in release.
+#[inline]
+pub fn argmin_finish(finishes: &[f64]) -> NodeId {
+    debug_assert!(!finishes.is_empty(), "argmin over an empty finish row");
+    let mut best = 0usize;
+    let mut bf = f64::INFINITY;
+    for (v, &f) in finishes.iter().enumerate() {
+        if v == 0 || f < bf {
+            best = v;
+            bf = f;
+        }
+    }
+    NodeId(best as u32)
+}
+
+/// Lowest-index argmin by `(start, finish)` lexicographic order — the
+/// earliest-start-first tie-break the ETF-family scans use
+/// (`s < bs || (s == bs && f < bf)`), first strict improvement wins.
+///
+/// # Panics
+/// Panics (debug) on empty rows; returns node 0 in release.
+#[inline]
+pub fn argmin_start_finish(starts: &[f64], finishes: &[f64]) -> NodeId {
+    debug_assert!(!starts.is_empty(), "argmin over an empty start row");
+    debug_assert_eq!(starts.len(), finishes.len());
+    let mut best = 0usize;
+    let (mut bs, mut bf) = (f64::INFINITY, f64::INFINITY);
+    for (v, (&s, &f)) in starts.iter().zip(finishes).enumerate() {
+        if v == 0 || s < bs || (s == bs && f < bf) {
+            best = v;
+            bs = s;
+            bf = f;
+        }
+    }
+    NodeId(best as u32)
+}
+
 /// A placed interval on a node timeline.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Slot {
@@ -166,6 +328,13 @@ pub struct SchedContext {
     /// boundary can sit at the end of the slot vector with an *earlier*
     /// finish.
     max_finish: Vec<f64>,
+    /// Finish time of the *last* slot on each node's timeline (0 when
+    /// empty) — `timelines[v].last()` hoisted into a dense row so the
+    /// append-start compose in [`eft_row_into`](Self::eft_row_into) is a
+    /// branchless elementwise fold instead of a per-node `Option` match.
+    /// Distinct from `max_finish` (see above); reconciled against the
+    /// timelines by a debug assertion after every mutation.
+    tail_finish: Vec<f64>,
     /// Number of unplaced predecessors per task.
     unplaced_preds: Vec<u32>,
     /// Unplaced tasks whose predecessors are all placed, ascending by id.
@@ -680,6 +849,7 @@ impl SchedContext {
             tl.clear();
         }
         set_all(&mut self.max_finish, nv, 0.0);
+        set_all(&mut self.tail_finish, nv, 0.0);
         if self.placed_epoch.len() != nt || self.epoch == u32::MAX {
             set_all(&mut self.placed_epoch, nt, 0);
             self.epoch = 1;
@@ -1025,6 +1195,83 @@ impl SchedContext {
         (start, start + duration)
     }
 
+    /// Finish time of the last slot on each node's timeline (`0.0` for an
+    /// empty timeline), maintained alongside the timelines by
+    /// [`place`](Self::place)/[`unplace`](Self::unplace). Composing
+    /// `append_tails()[v].max(ready)` reproduces
+    /// [`earliest_start_append`](Self::earliest_start_append) bit for bit:
+    /// finish times are never negative, so the empty-timeline `0.0` folds
+    /// away against any data-ready time.
+    #[inline]
+    pub fn append_tails(&self) -> &[f64] {
+        &self.tail_finish
+    }
+
+    /// [`eft`](Self::eft) for every node at once, into `starts`/`finishes`
+    /// (length `node_count()`): one [`data_ready_times_into`] row pass, then
+    /// a branchless elementwise compose of the maintained append-tail row
+    /// and the cached execution row. With `insertion`, nodes whose gap
+    /// search could beat the append tail (data ready before the node's max
+    /// finish — the same early-out [`earliest_start_insertion`] gates on)
+    /// fall back to the scalar gap scan; every other node's answer is
+    /// already exact in the row. Bit-identical to the per-node query on
+    /// every path.
+    ///
+    /// [`data_ready_times_into`]: Self::data_ready_times_into
+    /// [`earliest_start_insertion`]: Self::earliest_start_insertion
+    pub fn eft_row_into(
+        &self,
+        t: TaskId,
+        starts: &mut [f64],
+        finishes: &mut [f64],
+        insertion: bool,
+    ) {
+        if !insertion {
+            self.eft_row_append_into(t, starts, finishes);
+            return;
+        }
+        debug_assert_eq!(finishes.len(), self.n_nodes);
+        self.data_ready_times_into(t, starts);
+        let exec = &self.exec[t.index() * self.n_nodes..(t.index() + 1) * self.n_nodes];
+        for (v, s) in starts.iter_mut().enumerate() {
+            let ready = *s;
+            // `ready >= max_finish` (and the empty timeline, where the max
+            // finish is 0): every branch of the scalar query answers
+            // `ready`, which the row already holds.
+            if ready < self.max_finish[v] {
+                *s = self.earliest_start_insertion(NodeId(v as u32), ready, exec[v]);
+            }
+        }
+        for ((f, &s), &d) in finishes.iter_mut().zip(starts.iter()).zip(exec) {
+            *f = s + d;
+        }
+    }
+
+    /// The append-only fast variant of [`eft_row_into`](Self::eft_row_into)
+    /// (no insertion fallback, fully branchless): the data-ready row pass
+    /// followed by the AVX-dispatched tail/exec compose.
+    #[inline]
+    pub fn eft_row_append_into(&self, t: TaskId, starts: &mut [f64], finishes: &mut [f64]) {
+        debug_assert_eq!(finishes.len(), self.n_nodes);
+        self.data_ready_times_into(t, starts);
+        let exec = &self.exec[t.index() * self.n_nodes..(t.index() + 1) * self.n_nodes];
+        compose_append_rows(starts, finishes, &self.tail_finish, exec);
+    }
+
+    /// Reconciles the cached tail-finish row of `v` against its timeline
+    /// (debug builds only) — the invariant every row compose relies on.
+    #[inline]
+    fn debug_check_tail(&self, v: NodeId) {
+        debug_assert_eq!(
+            self.tail_finish[v.index()].to_bits(),
+            self.timelines[v.index()]
+                .last()
+                .map_or(0.0, |s| s.finish)
+                .to_bits(),
+            "cached tail finish diverged from timeline {v}"
+        );
+    }
+
     /// Current makespan over placed tasks. Every placed task sits on
     /// exactly one node timeline and `max_finish` is maintained per
     /// placement, so folding the per-node maxima visits `|V|` entries
@@ -1065,6 +1312,12 @@ impl SchedContext {
         );
         let mf = &mut self.max_finish[v.index()];
         *mf = mf.max(finish);
+        if pos + 1 == timeline.len() {
+            // inserted at the tail; interior inserts leave the last slot —
+            // and therefore the cached tail finish — untouched
+            self.tail_finish[v.index()] = finish;
+        }
+        self.debug_check_tail(v);
         self.finish[t.index()] = finish;
         self.node_of[t.index()] = v;
         self.placed_epoch[t.index()] = self.epoch;
@@ -1118,6 +1371,8 @@ impl SchedContext {
             .expect("placed task missing from its timeline");
         timeline.remove(pos);
         self.max_finish[v.index()] = timeline.iter().map(|s| s.finish).fold(0.0, f64::max);
+        self.tail_finish[v.index()] = timeline.last().map_or(0.0, |s| s.finish);
+        self.debug_check_tail(v);
         self.placed_epoch[t.index()] = 0;
         self.finish[t.index()] = f64::NAN;
         self.placed_count -= 1;
@@ -1393,6 +1648,52 @@ mod tests {
         changed.network.set_speed(NodeId(1), 4.0);
         ctx.reset(&changed);
         assert_eq!(ctx.exec_time(TaskId(1), NodeId(1)), 0.5);
+    }
+
+    #[test]
+    fn eft_rows_match_per_node_queries_bit_for_bit() {
+        // Includes a zero-duration boundary task so the row path sees the
+        // max_finish-vs-tail split (the timeline's last slot finishes at 2
+        // while the max finish is 3 — see the test above).
+        let mut g = TaskGraph::new();
+        g.add_task("a", 1.0);
+        g.add_task("z", 0.0);
+        g.add_task("q", 1.0);
+        g.add_task("r", 2.0);
+        let inst = Instance::new(Network::complete(&[1.0, 2.0], 2.0), g);
+        let mut ctx = SchedContext::new();
+        ctx.reset(&inst);
+        ctx.place(TaskId(0), NodeId(0), 2.0);
+        ctx.place(TaskId(1), NodeId(0), 2.0); // zero-duration boundary task
+        let nv = ctx.node_count();
+        let (mut starts, mut finishes) = ([0.0f64; 2], [0.0f64; 2]);
+        for t in [TaskId(2), TaskId(3)] {
+            for insertion in [false, true] {
+                ctx.eft_row_into(t, &mut starts[..nv], &mut finishes[..nv], insertion);
+                for v in ctx.nodes() {
+                    let (s, f) = ctx.eft(t, v, insertion);
+                    assert_eq!(s.to_bits(), starts[v.index()].to_bits(), "{t} on {v}");
+                    assert_eq!(f.to_bits(), finishes[v.index()].to_bits(), "{t} on {v}");
+                }
+            }
+        }
+        assert_eq!(ctx.append_tails(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn argmin_helpers_keep_lowest_index_on_ties() {
+        assert_eq!(argmin_finish(&[3.0, 1.0, 1.0, 2.0]), NodeId(1));
+        assert_eq!(argmin_finish(&[5.0, 5.0]), NodeId(0));
+        // NaN comparisons are always false, so NaN never displaces an
+        // earlier candidate and a leading NaN is never displaced — exactly
+        // the scalar comparators' first-entry-then-strict-less behaviour
+        assert_eq!(argmin_finish(&[f64::NAN, 2.0, 1.0]), NodeId(0));
+        assert_eq!(argmin_finish(&[1.0, f64::NAN]), NodeId(0));
+        assert_eq!(
+            argmin_start_finish(&[2.0, 1.0, 1.0], &[9.0, 8.0, 7.0]),
+            NodeId(2)
+        );
+        assert_eq!(argmin_start_finish(&[1.0, 1.0], &[5.0, 5.0]), NodeId(0));
     }
 
     #[test]

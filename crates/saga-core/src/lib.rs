@@ -37,7 +37,10 @@ pub use graph::{DepEdge, TaskGraph};
 pub use ids::{NodeId, TaskId};
 pub use incremental::{incremental_enabled, DirtyRegion, RunTrace};
 pub use instance::Instance;
-pub use kernel::SchedContext;
+pub use kernel::{
+    argmin_finish, argmin_start_finish, compose_append_rows, compose_append_rows_from,
+    eft_rows_enabled, SchedContext,
+};
 pub use network::Network;
 pub use pool::{ContextPool, PooledContext};
 pub use schedule::{Assignment, Schedule, TIME_EPS};

@@ -62,10 +62,25 @@ impl Config {
                     path: "crates/saga-schedulers/src/",
                     fns: Some(&["run", "run_recorded"]),
                 },
-                // the shared EFT/insertion helpers those entry points call
+                // the shared EFT/insertion helpers those entry points call,
+                // including the fused row-kernel sweeps and their scalar
+                // fallbacks
                 HotPath {
                     path: "crates/saga-schedulers/src/util.rs",
-                    fns: Some(&["best_eft_node", "best_est_node", "earliest_start_insertion"]),
+                    fns: Some(&[
+                        "best_eft_node",
+                        "best_eft_node_scalar",
+                        "best_est_node",
+                        "earliest_start_insertion",
+                        "first_idle_node",
+                        "start",
+                        "fused_rows",
+                        "fused_rows_profitable",
+                        "best_node",
+                        "best_node_eft",
+                        "best_node_est",
+                        "note_placed",
+                    ]),
                 },
                 // the annealer inner loop (one iteration = perturb +
                 // two scheduler runs; a stray allocation here multiplies

@@ -18,7 +18,10 @@
 //! loop — [`Scheduler::makespan_incremental`] against the lane's own
 //! [`PairTraces`] under [`SchedContext::pin_tables_dirty`] — so the batch
 //! keeps the replay-prefix win, and `SAGA_NO_INCREMENTAL` degrades both
-//! paths identically.
+//! paths identically. The fused EFT row kernels (PR 8) reach the lanes the
+//! same way: every lane evaluation runs the schedulers' own loops, which
+//! answer node selections through the row kernels (`SAGA_NO_EFT_ROW`
+//! likewise degrades batch and scalar identically).
 
 use crate::annealer::{accept, PairTraces, PisaConfig, PisaResult};
 use crate::constraints;

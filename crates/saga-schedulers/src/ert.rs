@@ -27,15 +27,27 @@ impl KernelRun for Ert {
         ctx.reset(inst);
         let n = ctx.task_count();
         let nv = ctx.node_count();
+        let fused = util::fused_rows_profitable(nv);
+        let mut srow = [0.0f64; util::STACK_NODES];
+        let mut frow = [0.0f64; util::STACK_NODES];
         let mut sweep = util::FrontierSweep::new(ctx);
         while ctx.placed_count() < n {
             let mut chosen: Option<(saga_core::TaskId, saga_core::NodeId, f64, f64, f64)> = None;
             for &t in ctx.ready() {
                 let ready_row = sweep.row(nv, t);
-                for (v, &duration) in ctx.exec_row(t).iter().enumerate() {
+                if fused {
+                    // one branchless compose per task; the selection loop
+                    // reads the finished rows instead of recomposing per node
+                    sweep.fused_rows(ctx, t, &mut srow[..nv], &mut frow[..nv]);
+                }
+                for v in 0..nv {
                     let data_ready = ready_row[v];
-                    let s = sweep.tail(v).max(data_ready);
-                    let f = s + duration;
+                    let (s, f) = if fused {
+                        (srow[v], frow[v])
+                    } else {
+                        let s = sweep.start(ctx, t, v);
+                        (s, s + ctx.exec_row(t)[v])
+                    };
                     let better = match chosen {
                         None => true,
                         Some((_, _, _, cr, cf)) => data_ready < cr || (data_ready == cr && f < cf),

@@ -19,12 +19,16 @@ pub struct Etf;
 /// ETF's selection loop from whatever partial state `ctx` is in.
 fn etf_loop(ctx: &mut SchedContext, sweep: &mut util::FrontierSweep, rank: &[f64]) {
     let n = ctx.task_count();
+    let fused = util::fused_rows_profitable(ctx.node_count());
     while ctx.placed_count() < n {
         let mut chosen: Option<(TaskId, saga_core::NodeId, f64)> = None;
         for &t in ctx.ready() {
             // per-task best node: earliest start, earlier finish on ties
-            let (v, s, _) =
-                sweep.best_node(ctx, t, |(s, f), (bs, bf)| s < bs || (s == bs && f < bf));
+            let (v, s, _) = if fused {
+                sweep.best_node_est(ctx, t)
+            } else {
+                sweep.best_node(ctx, t, |(s, f), (bs, bf)| s < bs || (s == bs && f < bf))
+            };
             let better = match chosen {
                 None => true,
                 Some((ct, _, cs)) => s < cs || (s == cs && rank[t.index()] > rank[ct.index()]),

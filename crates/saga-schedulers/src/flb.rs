@@ -27,15 +27,14 @@ impl KernelRun for Flb {
     fn run(&self, inst: &Instance, ctx: &mut SchedContext) {
         ctx.reset(inst);
         let n = ctx.task_count();
-        let nv = ctx.node_count();
         let mut sweep = util::FrontierSweep::new(ctx);
         while ctx.placed_count() < n {
-            let cand1 = sweep.first_idle();
+            let cand1 = util::first_idle_node(ctx);
             let mut chosen: Option<(saga_core::TaskId, saga_core::NodeId, f64, f64)> = None;
             for &t in ctx.ready() {
                 let cand2 = util::enabling_node(ctx, t);
                 for v in [cand1, cand2] {
-                    let s = sweep.start(nv, t, v.index());
+                    let s = sweep.start(ctx, t, v.index());
                     let f = s + ctx.exec_time(t, v);
                     let better = match chosen {
                         None => true,

@@ -69,16 +69,27 @@ fn gdl_loop(ctx: &mut SchedContext, sweep: &mut util::FrontierSweep, levels: &[f
     let n = ctx.task_count();
     let (sl, med_exec) = levels.split_at(n);
     let nv = ctx.node_count();
+    // The dynamic-level comparison itself must keep its exact FP expression
+    // (`SL - start + delta` is not reassociable), so the row kernels only
+    // replace the per-(task, node) start recompose with one fused pass.
+    let fused = util::fused_rows_profitable(nv);
+    let mut srow = [0.0f64; util::STACK_NODES];
+    let mut frow = [0.0f64; util::STACK_NODES];
     while ctx.placed_count() < n {
         let mut chosen: Option<(saga_core::TaskId, saga_core::NodeId, f64, f64)> = None;
         for &t in ctx.ready() {
             let ready_row = sweep.row(nv, t);
             let med = med_exec[t.index()];
             let level = sl[t.index()];
+            if fused {
+                sweep.fused_rows(ctx, t, &mut srow[..nv], &mut frow[..nv]);
+            }
             for (v, &duration) in ctx.exec_row(t).iter().enumerate() {
-                let da = ready_row[v];
-                let tf = sweep.tail(v);
-                let start = da.max(tf);
+                let start = if fused {
+                    srow[v]
+                } else {
+                    ready_row[v].max(ctx.append_tails()[v])
+                };
                 let delta = med - duration;
                 let dl = level - start + delta;
                 let better = match chosen {

@@ -5,6 +5,11 @@
 //! successor rank) over its successors; (2) in rank order, place each task on
 //! the node minimizing its earliest finish time, allowed to fill idle gaps
 //! (insertion-based policy). Complexity `O(|T|^2 |V|)`.
+//!
+//! The per-step node selection is [`util::best_eft_node`] with the
+//! insertion policy: one batched data-ready row pass per task, per-node gap
+//! scans only where the incumbent bound admits a win (the fused row-kernel
+//! formulation; `SAGA_NO_EFT_ROW=1` forces the scalar per-node sweep).
 
 use crate::{util, KernelRun};
 use saga_core::{DirtyRegion, Instance, RunTrace, SchedContext};

@@ -4,6 +4,11 @@
 //! order to the node with the smallest completion time given previously
 //! scheduled tasks — "HEFT without insertion or its priority function", as
 //! the paper puts it. Complexity `O(|T|^2 |V|)`.
+//!
+//! Append-only, so the node selection is one fused
+//! [`SchedContext::eft_row_append_into`] pass plus the lowest-index argmin
+//! when the row kernels are enabled (`SAGA_NO_EFT_ROW=1` forces the scalar
+//! per-node sweep).
 
 use crate::{util, KernelRun};
 use saga_core::{DirtyRegion, Instance, RunTrace, SchedContext};

@@ -19,11 +19,16 @@ pub struct MinMin;
 /// `(start, finish)` from cached data-ready rows.
 fn min_max_loop(ctx: &mut SchedContext, sweep: &mut util::FrontierSweep, want_max: bool) {
     let n = ctx.task_count();
+    let fused = util::fused_rows_profitable(ctx.node_count());
     while ctx.placed_count() < n {
         let mut chosen = None;
         for &t in ctx.ready() {
             // per-task best node: minimum finish, lower id on ties
-            let (v, s, f) = sweep.best_node(ctx, t, |(_, f), (_, bf)| f < bf);
+            let (v, s, f) = if fused {
+                sweep.best_node_eft(ctx, t)
+            } else {
+                sweep.best_node(ctx, t, |(_, f), (_, bf)| f < bf)
+            };
             let better = match chosen {
                 None => true,
                 Some((_, _, _, bf)) => {

@@ -7,36 +7,50 @@ use saga_core::{DirtyRegion, NodeId, RunTrace, SchedContext, TaskId};
 
 /// Stack-buffer capacity for per-node scratch in the selection helpers;
 /// networks wider than this fall back to per-node queries.
-const STACK_NODES: usize = 32;
+pub(crate) const STACK_NODES: usize = 32;
 
-/// Cached `(data-ready, node-tail)` state for *append-only* frontier sweeps
-/// (MinMin/MaxMin, ETF): a ready task's data-ready times never change (its
-/// predecessors are all placed), and appending to a node moves only that
-/// node's tail — so each task's data-ready row is computed exactly once and
-/// every `(start, finish)` the sweep compares is recomposed as
-/// `tail.max(ready) + duration` from cached values, division-free and
-/// bit-identical to the direct queries.
+/// Minimum network width for the fused row formulation to pay: below this
+/// the compose stays scalar (see the AVX dispatch gate in `saga-core`) and
+/// materializing row buffers loses to the register-resident comparator
+/// loops, so narrow networks keep the scalar per-node path — the same code
+/// `SAGA_NO_EFT_ROW=1` forces everywhere. Bit-identical either way.
+pub(crate) const WIDE_NODES: usize = 8;
+
+/// Whether the selection helpers should take the fused row path for an
+/// `nv`-node network: row kernels enabled and the width inside the
+/// `[WIDE_NODES, STACK_NODES]` band where the vectorized compose beats the
+/// scalar comparator loop and the scratch rows fit on the stack.
+#[inline]
+pub(crate) fn fused_rows_profitable(nv: usize) -> bool {
+    saga_core::eft_rows_enabled() && (WIDE_NODES..=STACK_NODES).contains(&nv)
+}
+
+/// Cached data-ready state for *append-only* frontier sweeps (MinMin/MaxMin,
+/// ETF, ERT, GDL, WBA, FLB): a ready task's data-ready times never change
+/// (its predecessors are all placed), so each task's row is computed exactly
+/// once — and every `(start, finish)` the sweep compares is recomposed as
+/// `tail.max(ready) + duration` from that row, the kernel's maintained
+/// append-tail row ([`SchedContext::append_tails`]) and the cached execution
+/// row, division-free and bit-identical to the direct queries. With the row
+/// kernels enabled the recompose is one branchless fused sweep
+/// ([`Self::fused_rows`]); the comparator form ([`Self::best_node`]) is the
+/// scalar fallback.
 pub(crate) struct FrontierSweep {
     /// `drt[t * |V| + v]`, valid for tasks that have entered the ready set.
     drt: Vec<f64>,
-    /// Last finish per node (`0.0` for an empty timeline, which composes to
-    /// the same start: data-ready times are never negative).
-    tails: Vec<f64>,
 }
 
 impl FrontierSweep {
-    /// Builds the cache (buffers from the context pools) and fills the rows
-    /// of the currently ready tasks. Tails come from the context's
-    /// timelines, so a sweep may start mid-run — after an incremental
-    /// replay of an append-only placement prefix — as well as from a clean
-    /// context (where every tail is the same `0.0` as before).
+    /// Builds the cache (buffer from the context pools) and fills the rows
+    /// of the currently ready tasks. Node tails live in the kernel's
+    /// maintained append-tail row, so a sweep may start mid-run — after an
+    /// incremental replay of an append-only placement prefix — as well as
+    /// from a clean context.
     pub fn new(ctx: &mut SchedContext) -> Self {
         let nv = ctx.node_count();
         let mut drt = ctx.take_f64();
         drt.resize(ctx.task_count() * nv, 0.0);
-        let mut tails = ctx.take_f64();
-        tails.extend((0..nv).map(|v| ctx.earliest_start_append(NodeId(v as u32), 0.0)));
-        let mut sweep = FrontierSweep { drt, tails };
+        let mut sweep = FrontierSweep { drt };
         for &t in ctx.ready() {
             sweep.fill_row(ctx, t);
         }
@@ -51,8 +65,8 @@ impl FrontierSweep {
     /// The append-only start of `t` on node `v` — identical to
     /// `ctx.earliest_start_append(v, ctx.data_ready_time(t, v))`.
     #[inline]
-    pub fn start(&self, nv: usize, t: TaskId, v: usize) -> f64 {
-        self.tails[v].max(self.drt[t.index() * nv + v])
+    pub fn start(&self, ctx: &SchedContext, t: TaskId, v: usize) -> f64 {
+        ctx.append_tails()[v].max(self.drt[t.index() * ctx.node_count() + v])
     }
 
     /// The cached data-ready row of a ready task — element `v` is identical
@@ -62,36 +76,10 @@ impl FrontierSweep {
         &self.drt[t.index() * nv..][..nv]
     }
 
-    /// The current tail of node `v`'s timeline — identical to
-    /// `ctx.earliest_start_append(NodeId(v), 0.0)` under append-only
-    /// placement (finish times are never negative).
-    #[inline]
-    pub fn tail(&self, v: usize) -> f64 {
-        self.tails[v]
-    }
-
-    /// The node whose timeline frees up first, from the cached tails —
-    /// identical to [`first_idle_node`] under append-only placement (same
-    /// ascending-id scan, strict-less wins).
-    pub fn first_idle(&self) -> NodeId {
-        let mut best: Option<(NodeId, f64)> = None;
-        for (v, &t) in self.tails.iter().enumerate() {
-            let better = match best {
-                None => true,
-                Some((_, bt)) => t < bt,
-            };
-            if better {
-                best = Some((NodeId(v as u32), t));
-            }
-        }
-        best.map(|(v, _)| v).expect("network has at least one node")
-    }
-
-    /// Records a placement made by the owning sweep: advances the node's
-    /// tail (append-only, so the placed slot is the new tail) and fills the
-    /// rows of successors that just became ready.
+    /// Records a placement made by the owning sweep: fills the rows of
+    /// successors that just became ready (the kernel maintains the node
+    /// tails itself).
     pub fn note_placed(&mut self, ctx: &SchedContext, t: TaskId) {
-        self.tails[ctx.node_of(t).index()] = ctx.finish_time(t);
         for (s, _) in ctx.succs(t) {
             if !ctx.is_placed(s) && ctx.is_ready(s) {
                 self.fill_row(ctx, s);
@@ -99,20 +87,44 @@ impl FrontierSweep {
         }
     }
 
+    /// The fused `(start, finish)` rows of ready task `t` over all nodes,
+    /// into caller scratch: the cached data-ready row composed elementwise
+    /// with the kernel's append-tail row and the execution row — the same
+    /// AVX-dispatched compose [`SchedContext::eft_row_append_into`] uses,
+    /// minus the data-ready pass the sweep already cached. Element `v` is
+    /// bit-identical to [`Self::start`] / `start + duration`.
+    #[inline]
+    pub fn fused_rows(
+        &self,
+        ctx: &SchedContext,
+        t: TaskId,
+        starts: &mut [f64],
+        finishes: &mut [f64],
+    ) {
+        let nv = ctx.node_count();
+        saga_core::compose_append_rows_from(
+            &self.drt[t.index() * nv..][..nv],
+            ctx.append_tails(),
+            ctx.exec_row(t),
+            starts,
+            finishes,
+        );
+    }
+
     /// The best node for `t` under `better((start, finish), (best_start,
     /// best_finish))`, scanning nodes in ascending id order (first win on
     /// ties) over the cached rows. Shared by the MinMin/MaxMin and ETF
-    /// sweeps, which differ only in this comparator.
+    /// sweeps, which differ only in this comparator; the scalar fallback of
+    /// [`Self::best_node_eft`] / [`Self::best_node_est`].
     pub fn best_node(
         &self,
         ctx: &SchedContext,
         t: TaskId,
         better: impl Fn((f64, f64), (f64, f64)) -> bool,
     ) -> (NodeId, f64, f64) {
-        let nv = ctx.node_count();
         let mut best: Option<(NodeId, f64, f64)> = None;
         for (v, &duration) in ctx.exec_row(t).iter().enumerate() {
-            let s = self.start(nv, t, v);
+            let s = self.start(ctx, t, v);
             let f = s + duration;
             let take = match best {
                 None => true,
@@ -125,21 +137,90 @@ impl FrontierSweep {
         best.expect("network has at least one node")
     }
 
-    /// Returns the buffers to the context pools.
+    /// [`Self::best_node`] under the earliest-finish comparator
+    /// (`f < bf`, lowest node id on ties) as one fused row compose plus the
+    /// lowest-index argmin — bit-identical to the comparator form, which
+    /// wide networks and the `SAGA_NO_EFT_ROW` path still take.
+    pub fn best_node_eft(&self, ctx: &SchedContext, t: TaskId) -> (NodeId, f64, f64) {
+        let nv = ctx.node_count();
+        if !(WIDE_NODES..=STACK_NODES).contains(&nv) {
+            return self.best_node(ctx, t, |(_, f), (_, bf)| f < bf);
+        }
+        let mut starts = [0.0f64; STACK_NODES];
+        let mut finishes = [0.0f64; STACK_NODES];
+        self.fused_rows(ctx, t, &mut starts[..nv], &mut finishes[..nv]);
+        let v = saga_core::argmin_finish(&finishes[..nv]);
+        (v, starts[v.index()], finishes[v.index()])
+    }
+
+    /// [`Self::best_node`] under the earliest-start comparator
+    /// (`s < bs || (s == bs && f < bf)`) as one fused row compose plus the
+    /// lexicographic argmin — bit-identical to the comparator form.
+    pub fn best_node_est(&self, ctx: &SchedContext, t: TaskId) -> (NodeId, f64, f64) {
+        let nv = ctx.node_count();
+        if !(WIDE_NODES..=STACK_NODES).contains(&nv) {
+            return self.best_node(ctx, t, |(s, f), (bs, bf)| s < bs || (s == bs && f < bf));
+        }
+        let mut starts = [0.0f64; STACK_NODES];
+        let mut finishes = [0.0f64; STACK_NODES];
+        self.fused_rows(ctx, t, &mut starts[..nv], &mut finishes[..nv]);
+        let v = saga_core::argmin_start_finish(&starts[..nv], &finishes[..nv]);
+        (v, starts[v.index()], finishes[v.index()])
+    }
+
+    /// Returns the buffer to the context pool.
     pub fn release(self, ctx: &mut SchedContext) {
         ctx.give_f64(self.drt);
-        ctx.give_f64(self.tails);
     }
 }
 
 /// The node minimizing the earliest finish time of `t`, with the
 /// corresponding `(start, finish)`. Ties go to the lower node id.
 ///
-/// Nodes whose lower bound `data_ready + duration` cannot beat the incumbent
-/// finish are skipped before any timeline scan; since a node only wins on a
-/// strictly smaller finish and the true finish is never below that bound,
-/// the selected node, start and finish are bit-identical to the full sweep.
+/// With the row kernels enabled, append-policy queries are one fused
+/// [`SchedContext::eft_row_append_into`] pass plus the lowest-index argmin,
+/// and insertion-policy queries run the pruned gap-scan loop over the
+/// batched data-ready row; both reproduce the full per-node sweep bit for
+/// bit (a node only wins on a strictly smaller finish, and the true finish
+/// never beats the `data_ready + duration` skip bound). Networks outside
+/// the `[WIDE_NODES, STACK_NODES]` profitability band and the
+/// `SAGA_NO_EFT_ROW` path take the scalar per-node formulation.
 pub fn best_eft_node(ctx: &SchedContext, t: TaskId, insertion: bool) -> (NodeId, f64, f64) {
+    let nv = ctx.node_count();
+    if fused_rows_profitable(nv) {
+        let mut starts = [0.0f64; STACK_NODES];
+        let mut finishes = [0.0f64; STACK_NODES];
+        if !insertion {
+            ctx.eft_row_append_into(t, &mut starts[..nv], &mut finishes[..nv]);
+            let v = saga_core::argmin_finish(&finishes[..nv]);
+            return (v, starts[v.index()], finishes[v.index()]);
+        }
+        // insertion: the gap scans stay per node (pruned by the incumbent
+        // bound), fed from one batched data-ready row pass
+        ctx.data_ready_times_into(t, &mut starts[..nv]);
+        let exec = ctx.exec_row(t);
+        let (mut best, mut bs, mut bf) = (usize::MAX, 0.0f64, f64::INFINITY);
+        for (v, (&ready, &duration)) in starts[..nv].iter().zip(exec).enumerate() {
+            if best != usize::MAX && ready + duration >= bf {
+                continue;
+            }
+            let s = ctx.earliest_start_insertion(NodeId(v as u32), ready, duration);
+            let f = s + duration;
+            if best == usize::MAX || f < bf {
+                best = v;
+                bs = s;
+                bf = f;
+            }
+        }
+        assert!(best != usize::MAX, "network has at least one node");
+        return (NodeId(best as u32), bs, bf);
+    }
+    best_eft_node_scalar(ctx, t, insertion)
+}
+
+/// The pre-row-kernel formulation of [`best_eft_node`]: per-node queries
+/// (batched data-ready row on narrow networks) with the same skip bound.
+fn best_eft_node_scalar(ctx: &SchedContext, t: TaskId, insertion: bool) -> (NodeId, f64, f64) {
     let mut ready_buf = [0.0f64; STACK_NODES];
     let nv = ctx.node_count();
     let batched = nv <= STACK_NODES;
@@ -185,9 +266,18 @@ pub fn best_eft_node(ctx: &SchedContext, t: TaskId, insertion: bool) -> (NodeId,
 /// bound starts strictly after the incumbent (a strictly later start can
 /// never win, and an equal one only refines the finish tie-break, which the
 /// bound does not exclude) — the outcome is bit-identical to the full sweep.
+/// Append-policy queries take the fused row pass plus the lexicographic
+/// argmin when the row kernels are enabled.
 pub fn best_est_node(ctx: &SchedContext, t: TaskId, insertion: bool) -> (NodeId, f64, f64) {
-    let mut ready_buf = [0.0f64; STACK_NODES];
     let nv = ctx.node_count();
+    if !insertion && fused_rows_profitable(nv) {
+        let mut starts = [0.0f64; STACK_NODES];
+        let mut finishes = [0.0f64; STACK_NODES];
+        ctx.eft_row_append_into(t, &mut starts[..nv], &mut finishes[..nv]);
+        let v = saga_core::argmin_start_finish(&starts[..nv], &finishes[..nv]);
+        return (v, starts[v.index()], finishes[v.index()]);
+    }
+    let mut ready_buf = [0.0f64; STACK_NODES];
     let batched = nv <= STACK_NODES;
     if batched {
         ctx.data_ready_times_into(t, &mut ready_buf[..nv]);
@@ -242,24 +332,26 @@ pub fn enabling_node(ctx: &SchedContext, t: TaskId) -> NodeId {
     best.map(|(_, v)| v).unwrap_or_else(|| ctx.fastest_node())
 }
 
-/// The node whose timeline frees up first (FCP/FLB's "first idle" candidate).
+/// The node whose timeline frees up first (FCP/FLB's "first idle" candidate):
+/// an ascending strict-less scan over the kernel's maintained append-tail
+/// row — the same selection as folding `earliest_start_append(v, 0.0)` per
+/// node (tails are never negative), without the per-node timeline derefs.
 ///
 /// # Panics
 /// Panics on an empty network, like its sibling selectors — silently
 /// answering `NodeId(0)` would index out of bounds one call later.
 pub fn first_idle_node(ctx: &SchedContext) -> NodeId {
-    let mut best: Option<(NodeId, f64)> = None;
-    for v in ctx.nodes() {
-        let t = ctx.earliest_start_append(v, 0.0);
-        let better = match best {
-            None => true,
-            Some((_, bt)) => t < bt,
-        };
-        if better {
-            best = Some((v, t));
+    let tails = ctx.append_tails();
+    assert!(!tails.is_empty(), "network has at least one node");
+    let mut best = 0usize;
+    let mut bt = tails[0];
+    for (v, &t) in tails.iter().enumerate().skip(1) {
+        if t < bt {
+            best = v;
+            bt = t;
         }
     }
-    best.map(|(v, _)| v).expect("network has at least one node")
+    NodeId(best as u32)
 }
 
 /// Replays the longest trustworthy prefix of `trace` into `ctx` for a

@@ -45,6 +45,9 @@ impl KernelRun for Wba {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let n = ctx.task_count();
         let nv = ctx.node_count();
+        let fused = util::fused_rows_profitable(nv);
+        let mut srow = [0.0f64; util::STACK_NODES];
+        let mut frow = [0.0f64; util::STACK_NODES];
         let mut sweep = util::FrontierSweep::new(ctx);
         // running max over placed finishes == ctx.current_makespan()
         let mut current = 0.0f64;
@@ -61,10 +64,19 @@ impl KernelRun for Wba {
             let mut i_min = f64::INFINITY;
             let mut i_max = f64::NEG_INFINITY;
             for &t in ctx.ready() {
-                let ready_row = sweep.row(nv, t);
-                for (v, &duration) in ctx.exec_row(t).iter().enumerate() {
-                    let s = sweep.tail(v).max(ready_row[v]);
-                    let f = s + duration;
+                if fused {
+                    // one branchless compose per task; the option loop reads
+                    // the finished rows (same bits, same option order, so
+                    // the sampling RNG stream is unchanged)
+                    sweep.fused_rows(ctx, t, &mut srow[..nv], &mut frow[..nv]);
+                }
+                for v in 0..nv {
+                    let (s, f) = if fused {
+                        (srow[v], frow[v])
+                    } else {
+                        let s = ctx.append_tails()[v].max(sweep.row(nv, t)[v]);
+                        (s, s + ctx.exec_row(t)[v])
+                    };
                     let increase = (f - current).max(0.0);
                     i_min = i_min.min(increase);
                     i_max = i_max.max(increase);
