@@ -8,11 +8,15 @@
 //! ```
 
 use rand::rngs::StdRng;
+use rayon::prelude::*;
 use saga_core::{BatchedSchedContext, Instance, SchedContext};
 use saga_experiments::benchmarking;
 use saga_experiments::engine::BatchEngine;
+use saga_experiments::merge::merge_files;
 use saga_pisa::annealer::AnnealScratch;
-use saga_pisa::{pairwise_cells, GeneralPerturber, Pisa, PisaConfig, SearchCell};
+use saga_pisa::{
+    pairwise_cells, shard_cells, GeneralPerturber, Pisa, PisaConfig, SearchCell, ShardSpec,
+};
 use saga_schedulers::util::fixtures;
 use saga_schedulers::Scheduler;
 use std::hint::black_box;
@@ -252,7 +256,146 @@ fn pr8_rows() -> Vec<(&'static str, f64)> {
     out
 }
 
+/// The quick fig4 battery run through the distributed-grid front door:
+/// `shard_cells(cells, 0/1)` before `run_cells`, exactly what `--shard`
+/// does on a 1-shard run. The delta against the unsharded row is the whole
+/// cost of the shard layer (key formatting + FNV digest per cell) — the
+/// acceptance bar is ≥0.98× of unsharded.
+fn fig4_quick_cells_per_s_shard_1of1(threads: usize) -> f64 {
+    let schedulers = saga_schedulers::benchmark_schedulers();
+    let cells = pairwise_cells(
+        &schedulers,
+        PisaConfig {
+            i_max: 250,
+            restarts: 2,
+            seed: 0xF164,
+            ..PisaConfig::default()
+        },
+    );
+    let n = cells.len() as f64;
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    let engine = BatchEngine::new();
+    let ms = time_ms(|| {
+        let cells = shard_cells(black_box(cells), ShardSpec { index: 0, count: 1 });
+        black_box(engine.run_cells(&cells, None, None).unwrap());
+    });
+    std::env::remove_var("RAYON_NUM_THREADS");
+    n / (ms / 1e3)
+}
+
+/// saga-merge throughput on a synthetic 3-shard checkpoint set
+/// (`files` × `records` ~100-byte JSONL records, disjoint keys). Returns
+/// merged records per second, including the parse, the key sort and the
+/// canonical write.
+fn merge_records_per_s(files: usize, records: usize) -> f64 {
+    let dir = std::env::temp_dir();
+    let paths: Vec<std::path::PathBuf> = (0..files)
+        .map(|f| {
+            let path = dir.join(format!(
+                "saga_perf_snapshot_{}_merge{f}.jsonl",
+                std::process::id()
+            ));
+            let mut text = String::new();
+            for r in 0..records {
+                text.push_str(&format!(
+                    "{{\"key\":\"bench/cell#{f:02}of{r:06}\",\"ratio_bits\":\
+                     \"3ff0000000{f:02x}{r:04x}\",\"evals\":{r}}}\n"
+                ));
+            }
+            std::fs::write(&path, text).unwrap();
+            path
+        })
+        .collect();
+    let total = (files * records) as f64;
+    let mut out = Vec::new();
+    let ms = time_ms(|| {
+        black_box(merge_files(black_box(&paths), &mut out).unwrap());
+    });
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
+    assert!(!out.is_empty());
+    total / (ms / 1e3)
+}
+
+/// A deterministic compute spin — the unit of synthetic skewed work.
+fn spin(units: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..units {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+/// Skew-recovery wall clock at 4 workers: 64 items where the first 8 are
+/// 50× heavier than the rest — the heavy items all land in worker 0's
+/// seeded deque segment, so finishing near the fair-share bound requires
+/// the siblings to steal. `cursor: true` re-runs the identical workload on
+/// the legacy shared-cursor queue (`RAYON_QUEUE=cursor`) for the in-tree
+/// A/B.
+fn skew_elapsed_ms(cursor: bool) -> f64 {
+    let items: Vec<u64> = (0..64u64)
+        .map(|i| if i < 8 { 2_000_000 } else { 40_000 })
+        .collect();
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    if cursor {
+        std::env::set_var("RAYON_QUEUE", "cursor");
+    }
+    // warm-up: spawn the workers once before timing
+    black_box(
+        items
+            .par_iter()
+            .with_min_len(1)
+            .map(|&u| spin(u))
+            .collect::<Vec<u64>>(),
+    );
+    let ms = time_ms(|| {
+        black_box(
+            items
+                .par_iter()
+                .with_min_len(1)
+                .map(|&u| spin(u))
+                .collect::<Vec<u64>>(),
+        );
+    });
+    if cursor {
+        std::env::remove_var("RAYON_QUEUE");
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+    ms
+}
+
+/// The PR-9 BENCH protocol rows: shard-layer overhead at 1/1 (must be
+/// within noise of unsharded), saga-merge throughput, and the
+/// skew-recovery A/B between the work-stealing deques and the legacy
+/// cursor queue at 4 workers. One invocation = one sample; the driver
+/// interleaves invocations of the two builds and takes medians.
+fn pr9_rows() -> Vec<(&'static str, f64)> {
+    vec![
+        (
+            "fig4_quick_cells_run_cells_1t_cells_per_s",
+            fig4_quick_cells_per_s(1),
+        ),
+        (
+            "fig4_quick_cells_shard_1of1_1t_cells_per_s",
+            fig4_quick_cells_per_s_shard_1of1(1),
+        ),
+        ("merge_3x2000_records_per_s", merge_records_per_s(3, 2000)),
+        ("skew_64items_4w_deque_ms", skew_elapsed_ms(false)),
+        ("skew_64items_4w_cursor_ms", skew_elapsed_ms(true)),
+    ]
+}
+
 fn main() {
+    // `--pr9` restricts the snapshot to the PR-9 BENCH protocol rows.
+    if std::env::args().any(|a| a == "--pr9") {
+        let fields: Vec<String> = pr9_rows()
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v:.4}"))
+            .collect();
+        println!("{{\n{}\n}}", fields.join(",\n"));
+        return;
+    }
     // `--pr8` restricts the snapshot to the PR-8 BENCH protocol rows.
     if std::env::args().any(|a| a == "--pr8") {
         let fields: Vec<String> = pr8_rows()

@@ -44,4 +44,4 @@ pub use kernel::{
 pub use network::Network;
 pub use pool::{ContextPool, PooledContext};
 pub use schedule::{Assignment, Schedule, TIME_EPS};
-pub use seed::derive_seed;
+pub use seed::{derive_seed, fnv1a};

@@ -17,6 +17,22 @@ pub fn derive_seed(seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// FNV-1a over a byte string: the workspace's canonical config digest.
+///
+/// `SearchCell::key()` folds a cell's full configuration (metric kind plus
+/// the temperature-schedule bit patterns) through this hash, and the
+/// distributed shard protocol partitions cells by `fnv1a(key) % shard_count`
+/// — so the constant and the fold order are load-bearing: changing either
+/// invalidates every existing checkpoint key and re-deals every shard.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -30,5 +46,14 @@ mod tests {
         assert_ne!(a, c);
         // stable across calls (documented: cell streams are reproducible)
         assert_eq!(a, derive_seed(42, 0));
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // published FNV-1a 64-bit vectors: the digest is a stable on-disk
+        // contract (checkpoint keys, shard assignment)
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
     }
 }

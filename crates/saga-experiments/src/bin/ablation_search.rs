@@ -9,16 +9,20 @@
 //! with a JSONL checkpoint (`--resume`).
 //!
 //! Usage: `ablation_search [--imax N] [--restarts R] [--seed S] [--trials K]
-//! [--resume]`.
+//! [--resume] [--shard i/N] [--checkpoint PATH]`. With `--shard i/N` only
+//! that slice of the cells runs, against a per-shard checkpoint, and the
+//! summary is skipped; `saga-merge` the shards and re-run with `--resume`.
 
 use saga_experiments::engine::{BatchEngine, CellCheckpoint, Progress};
 use saga_experiments::{cli, render, write_results_file};
 use saga_pisa::ablation::Strategy;
-use saga_pisa::{PisaConfig, SearchCell};
+use saga_pisa::{shard_cells, PisaConfig, SearchCell};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let resume = args.iter().any(|a| a == "--resume");
+    let shard = cli::shard_arg(&args);
+    let ckpt_path = cli::checkpoint_path(&args, shard, "results/ablation_search_cells.jsonl");
     let config = PisaConfig {
         i_max: cli::arg_or(&args, "imax", 1000),
         restarts: cli::arg_or(&args, "restarts", 5),
@@ -59,20 +63,30 @@ fn main() {
             }
         }
     }
-    let checkpoint = CellCheckpoint::open(
-        std::path::Path::new("results/ablation_search_cells.jsonl"),
-        resume,
-    )
-    .expect("open checkpoint");
+    let total = cells.len();
+    let cells = shard_cells(cells, shard);
+    let checkpoint = CellCheckpoint::open(&ckpt_path, resume).expect("open checkpoint");
     if resume && checkpoint.loaded() > 0 {
         eprintln!(
-            "resuming: {} cells already in results/ablation_search_cells.jsonl",
-            checkpoint.loaded()
+            "resuming: {} cells already in {}",
+            checkpoint.loaded(),
+            ckpt_path.display()
         );
     }
     let engine = BatchEngine::new();
     let progress = Progress::new("ablation_search", cells.len());
     let results = engine.run_cells_or_exit(&cells, Some(&progress), Some(&checkpoint));
+    if !shard.is_full() {
+        // a partial shard can't compute the cross-strategy summary; its
+        // output is the checkpoint itself
+        eprintln!(
+            "shard {shard} complete: {} of {total} cells in {} — merge all shards with \
+             saga-merge, then summarize with `ablation_search --resume`",
+            results.len(),
+            ckpt_path.display()
+        );
+        return;
+    }
     let mut results = results.into_iter();
 
     let col_names: Vec<String> = Strategy::ALL.iter().map(|s| s.name().to_string()).collect();

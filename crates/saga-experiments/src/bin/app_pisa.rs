@@ -13,14 +13,19 @@
 //! seeds and all schedulers evaluate under pinned cost tables.
 //!
 //! Usage: `app_pisa [workflow|all] [--instances N] [--imax N] [--restarts R]
-//! [--ccr X] [--seed S] [--resume]`. Default workflow: `srasearch`; defaults
-//! trade the paper's CPU-hours for minutes (see EXPERIMENTS.md).
+//! [--ccr X] [--seed S] [--resume] [--shard i/N] [--checkpoint PATH]`.
+//! Default workflow: `srasearch`; defaults trade the paper's CPU-hours for
+//! minutes (see EXPERIMENTS.md). With `--shard i/N` only that slice of each
+//! workflow's cells runs, against per-shard checkpoints
+//! (`…_cells.shard{i}of{N}.jsonl`; `--checkpoint` overrides the path for
+//! single-workflow runs), and rendering is skipped — `saga-merge` the
+//! shards, then re-run with `--resume` to render.
 
 use saga_experiments::engine::{derive_seed, BatchEngine, CellCheckpoint, Progress};
 use saga_experiments::{benchmarking, cli, render, write_results_file};
 use saga_pisa::annealer::PisaConfig;
 use saga_pisa::app_specific::AppSpecific;
-use saga_pisa::{cell_config, SearchCell};
+use saga_pisa::{cell_config, shard_cells, SearchCell, ShardSpec};
 
 #[allow(clippy::too_many_arguments)] // a binary's main-loop helper, not API
 fn run_workflow(
@@ -30,6 +35,8 @@ fn run_workflow(
     instances: usize,
     config: PisaConfig,
     resume: bool,
+    shard: ShardSpec,
+    ckpt_override: Option<&str>,
 ) {
     let schedulers = saga_schedulers::app_specific_schedulers();
     let names: Vec<String> = schedulers.iter().map(|s| s.name().to_string()).collect();
@@ -53,17 +60,34 @@ fn run_workflow(
             }
         }
     }
-    let ckpt_path = format!("results/app_pisa_{workflow}_cells.jsonl");
-    let checkpoint =
-        CellCheckpoint::open(std::path::Path::new(&ckpt_path), resume).expect("open checkpoint");
+    let total = cells.len();
+    let cells = shard_cells(cells, shard);
+    let base = format!("results/app_pisa_{workflow}_cells.jsonl");
+    let ckpt_path = match ckpt_override {
+        Some(p) => std::path::PathBuf::from(p),
+        None => shard.checkpoint_path(std::path::Path::new(&base)),
+    };
+    let checkpoint = CellCheckpoint::open(&ckpt_path, resume).expect("open checkpoint");
     if resume && checkpoint.loaded() > 0 {
         eprintln!(
-            "resuming: {} cells already in {ckpt_path}",
-            checkpoint.loaded()
+            "resuming: {} cells already in {}",
+            checkpoint.loaded(),
+            ckpt_path.display()
         );
     }
     let progress = Progress::new(format!("app_pisa/{workflow}"), cells.len());
     let results = engine.run_cells_or_exit(&cells, Some(&progress), Some(&checkpoint));
+    if !shard.is_full() {
+        // a partial shard can't render the per-CCR matrices; its output is
+        // the checkpoint itself
+        eprintln!(
+            "shard {shard} complete: {} of {total} cells in {} — merge all shards with \
+             saga-merge, then render with `app_pisa {workflow} --resume`",
+            results.len(),
+            ckpt_path.display()
+        );
+        return;
+    }
     let mut results = results.into_iter();
 
     for (ci, &ccr) in ccrs.iter().enumerate() {
@@ -151,6 +175,8 @@ fn main() {
     let workflow = cli::positional(&args).unwrap_or("srasearch").to_string();
     let instances: usize = cli::arg_or(&args, "instances", 15);
     let resume = args.iter().any(|a| a == "--resume");
+    let shard = cli::shard_arg(&args);
+    let ckpt_override = cli::arg_str(&args, "checkpoint");
     let config = PisaConfig {
         i_max: cli::arg_or(&args, "imax", 300),
         restarts: cli::arg_or(&args, "restarts", 2),
@@ -169,9 +195,22 @@ fn main() {
     } else {
         vec![workflow.as_str()]
     };
+    if ckpt_override.is_some() && workflows.len() > 1 {
+        eprintln!("fatal: --checkpoint only applies to single-workflow runs (per-workflow files)");
+        std::process::exit(2);
+    }
     let engine = BatchEngine::new();
     for wf in workflows {
         println!("=== Section VII: application-specific PISA for {wf} ===\n");
-        run_workflow(&engine, wf, &ccrs, instances, config, resume);
+        run_workflow(
+            &engine,
+            wf,
+            &ccrs,
+            instances,
+            config,
+            resume,
+            shard,
+            ckpt_override.as_deref(),
+        );
     }
 }

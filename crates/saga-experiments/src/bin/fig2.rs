@@ -9,36 +9,109 @@
 //! the paper uses 100–1000). Output is bit-identical for any
 //! `RAYON_NUM_THREADS`.
 //!
-//! Usage: `fig2 [--instances N] [--seed S]`.
+//! Every instance row is a keyed unit of work
+//! (`fig2/{dataset}#k{k}#s{seed}`) appended to a [`RowCheckpoint`] JSONL as
+//! it completes, so paper-scale 1000-instance budgets are resumable
+//! (`--resume`) and distributable: `--shard i/N` runs only this host's
+//! deterministic 1/N of the rows against a per-shard checkpoint
+//! (`results/fig2_rows.shard{i}of{N}.jsonl`) and skips rendering —
+//! `saga-merge` the shards into `results/fig2_rows.jsonl`, then render with
+//! `fig2 --resume` (every row replays from the merged file bit-exactly).
+//!
+//! Usage: `fig2 [--instances N] [--seed S] [--resume] [--shard i/N]
+//! [--checkpoint PATH]`.
 
-use saga_experiments::engine::{BatchEngine, Progress};
+use saga_experiments::engine::{BatchEngine, Progress, RowCheckpoint};
 use saga_experiments::{benchmarking, cli, render, write_results_file};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let instances: usize = cli::arg_or(&args, "instances", 100);
     let seed: u64 = cli::arg_or(&args, "seed", 0xF162);
+    let resume = args.iter().any(|a| a == "--resume");
+    let shard = cli::shard_arg(&args);
+    let ckpt_path = cli::checkpoint_path(&args, shard, "results/fig2_rows.jsonl");
 
     let schedulers = saga_schedulers::benchmark_schedulers();
     let sched_names: Vec<String> = schedulers.iter().map(|s| s.name().to_string()).collect();
     let generators = saga_datasets::all_generators();
     let dataset_names: Vec<String> = generators.iter().map(|g| g.name.to_string()).collect();
 
+    let checkpoint = RowCheckpoint::open(&ckpt_path, resume).unwrap_or_else(|e| {
+        eprintln!("fatal: cannot open checkpoint {}: {e}", ckpt_path.display());
+        std::process::exit(1);
+    });
+    if resume && checkpoint.loaded() > 0 {
+        eprintln!(
+            "resuming: {} rows already in {}",
+            checkpoint.loaded(),
+            ckpt_path.display()
+        );
+    }
+    let key_of = |dataset: &str, k: usize| format!("fig2/{dataset}#k{k}#s{seed:016x}");
+    // progress totals count only this shard's rows
+    let total: usize = generators
+        .iter()
+        .map(|g| {
+            (0..instances)
+                .filter(|&k| shard.contains_key(&key_of(g.name, k)))
+                .count()
+        })
+        .sum();
+
     let engine = BatchEngine::new();
-    let progress = Progress::new("fig2", generators.len() * instances);
+    let progress = Progress::new("fig2", total);
     let mut max_rows: Vec<Vec<f64>> = Vec::with_capacity(generators.len());
     let mut med_rows: Vec<Vec<f64>> = Vec::with_capacity(generators.len());
+    let mut done = 0usize;
     for gen in &generators {
-        let stats = benchmarking::benchmark_dataset_engine(
-            &engine,
-            &schedulers,
-            gen,
-            instances,
-            seed,
-            Some(&progress),
-        );
+        let key_of_k = |k: usize| key_of(gen.name, k);
+        let rows = engine
+            .dataset_makespans_sharded(
+                &schedulers,
+                gen,
+                instances,
+                seed,
+                &key_of_k,
+                shard,
+                Some(&progress),
+                Some(&checkpoint),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!(
+                    "fatal: checkpoint write failed: {e} — rows recorded before the failure \
+                     are flushed; re-run with --resume after freeing space"
+                );
+                std::process::exit(1);
+            });
+        done += rows.iter().flatten().count();
+        if !shard.is_full() {
+            continue;
+        }
+        // a full run computes every row; reduce to the paper's statistics
+        let mut per_sched: Vec<Vec<f64>> = vec![Vec::with_capacity(instances); schedulers.len()];
+        for row in rows.iter().flatten() {
+            for (k, r) in benchmarking::ratios_of(row).into_iter().enumerate() {
+                per_sched[k].push(r);
+            }
+        }
+        let stats: Vec<benchmarking::RatioStats> = per_sched
+            .iter()
+            .map(|rs| benchmarking::summarize(rs))
+            .collect();
         max_rows.push(stats.iter().map(|s| s.max).collect());
         med_rows.push(stats.iter().map(|s| s.median).collect());
+    }
+    if !shard.is_full() {
+        // a partial shard can't render the matrices; its output is the
+        // checkpoint itself
+        eprintln!(
+            "shard {shard} complete: {done} rows in {} — merge all shards with \
+             `saga-merge --out results/fig2_rows.jsonl results/fig2_rows.shard*.jsonl`, \
+             then render with `fig2 --resume`",
+            ckpt_path.display()
+        );
+        return;
     }
 
     println!(

@@ -13,13 +13,18 @@
 //! is flushed to `results/fig4_cells.jsonl`, and `--resume` replays stored
 //! cells so an interrupted paper-scale run continues where it stopped.
 //!
-//! Usage: `fig4 [--imax N] [--restarts R] [--seed S] [--quick] [--resume]`.
-//! Defaults match the paper (`imax 1000`, `restarts 5`); `--quick` is the
-//! CI smoke budget (`imax 60`, `restarts 1`).
+//! Usage: `fig4 [--imax N] [--restarts R] [--seed S] [--quick] [--resume]
+//! [--shard i/N] [--checkpoint PATH]`. Defaults match the paper
+//! (`imax 1000`, `restarts 5`); `--quick` is the CI smoke budget
+//! (`imax 60`, `restarts 1`). With `--shard i/N`, this host runs only its
+//! deterministic 1/N slice of the cells against a per-shard checkpoint
+//! (`results/fig4_cells.shard{i}of{N}.jsonl` unless `--checkpoint`
+//! overrides it) and skips rendering; merge the shards with `saga-merge`
+//! and re-run unsharded with `--resume` to render from the merged file.
 
 use saga_experiments::engine::{BatchEngine, CellCheckpoint, Progress};
 use saga_experiments::{cli, render, write_results_file};
-use saga_pisa::{pairwise_cells, PairwiseMatrix, PisaConfig};
+use saga_pisa::{pairwise_cells, shard_cells, PairwiseMatrix, PisaConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -28,10 +33,12 @@ fn main() {
     let restarts: usize = cli::arg_or(&args, "restarts", if quick { 1 } else { 5 });
     let seed: u64 = cli::arg_or(&args, "seed", 0xF164);
     let resume = args.iter().any(|a| a == "--resume");
+    let shard = cli::shard_arg(&args);
+    let ckpt_path = cli::checkpoint_path(&args, shard, "results/fig4_cells.jsonl");
 
     let schedulers = saga_schedulers::benchmark_schedulers();
     let names: Vec<String> = schedulers.iter().map(|s| s.name().to_string()).collect();
-    let cells = pairwise_cells(
+    let all_cells = pairwise_cells(
         &schedulers,
         PisaConfig {
             i_max: imax,
@@ -40,16 +47,18 @@ fn main() {
             ..PisaConfig::default()
         },
     );
+    let total = all_cells.len();
+    let cells = shard_cells(all_cells, shard);
     eprintln!(
-        "running PISA for {} ordered pairs ({restarts} restarts x {imax} iters)...",
+        "running PISA for {} of {total} ordered pairs (shard {shard}, {restarts} restarts x {imax} iters)...",
         cells.len()
     );
-    let checkpoint = CellCheckpoint::open(std::path::Path::new("results/fig4_cells.jsonl"), resume)
-        .expect("open checkpoint");
+    let checkpoint = CellCheckpoint::open(&ckpt_path, resume).expect("open checkpoint");
     if resume && checkpoint.loaded() > 0 {
         eprintln!(
-            "resuming: {} cells already in results/fig4_cells.jsonl",
-            checkpoint.loaded()
+            "resuming: {} cells already in {}",
+            checkpoint.loaded(),
+            ckpt_path.display()
         );
     }
     let engine = BatchEngine::new();
@@ -57,6 +66,18 @@ fn main() {
     let t0 = std::time::Instant::now();
     let results = engine.run_cells_or_exit(&cells, Some(&progress), Some(&checkpoint));
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+    if !shard.is_full() {
+        // a partial shard can't render the matrix; its output is the
+        // checkpoint itself
+        eprintln!(
+            "shard {shard} complete: {} cells in {} — merge all shards with \
+             `saga-merge --out results/fig4_cells.jsonl results/fig4_cells.shard*.jsonl`, \
+             then render with `fig4 --resume`",
+            results.len(),
+            ckpt_path.display()
+        );
+        return;
+    }
     let m = PairwiseMatrix::from_cell_results(names, results);
 
     // assemble: "Worst" row on top, then baseline rows (paper order)

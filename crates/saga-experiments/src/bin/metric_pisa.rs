@@ -10,17 +10,22 @@
 //! with a JSONL checkpoint (`--resume`).
 //!
 //! Usage: `metric_pisa [--imax N] [--restarts R] [--seed S] [--quick]
-//! [--resume]`. `--quick` is the CI smoke budget (`imax 60`, `restarts 1`).
+//! [--resume] [--shard i/N] [--checkpoint PATH]`. `--quick` is the CI smoke
+//! budget (`imax 60`, `restarts 1`). With `--shard i/N` only that slice of
+//! the cells runs, against a per-shard checkpoint, and rendering is
+//! skipped; `saga-merge` the shards and re-run with `--resume` to render.
 
 use saga_experiments::engine::{BatchEngine, CellCheckpoint, Progress};
 use saga_experiments::{cli, render, write_results_file};
 use saga_pisa::metric::Objective;
-use saga_pisa::{cell_config, PisaConfig, SearchCell};
+use saga_pisa::{cell_config, shard_cells, PisaConfig, SearchCell};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let resume = args.iter().any(|a| a == "--resume");
+    let shard = cli::shard_arg(&args);
+    let ckpt_path = cli::checkpoint_path(&args, shard, "results/metric_pisa_cells.jsonl");
     let config = PisaConfig {
         i_max: cli::arg_or(&args, "imax", if quick { 60 } else { 400 }),
         restarts: cli::arg_or(&args, "restarts", if quick { 1 } else { 3 }),
@@ -56,20 +61,30 @@ fn main() {
             ));
         }
     }
-    let checkpoint = CellCheckpoint::open(
-        std::path::Path::new("results/metric_pisa_cells.jsonl"),
-        resume,
-    )
-    .expect("open checkpoint");
+    let total = cells.len();
+    let cells = shard_cells(cells, shard);
+    let checkpoint = CellCheckpoint::open(&ckpt_path, resume).expect("open checkpoint");
     if resume && checkpoint.loaded() > 0 {
         eprintln!(
-            "resuming: {} cells already in results/metric_pisa_cells.jsonl",
-            checkpoint.loaded()
+            "resuming: {} cells already in {}",
+            checkpoint.loaded(),
+            ckpt_path.display()
         );
     }
     let engine = BatchEngine::new();
     let progress = Progress::new("metric_pisa", cells.len());
     let results = engine.run_cells_or_exit(&cells, Some(&progress), Some(&checkpoint));
+    if !shard.is_full() {
+        // a partial shard can't render the matrix; its output is the
+        // checkpoint itself
+        eprintln!(
+            "shard {shard} complete: {} of {total} cells in {} — merge all shards with \
+             saga-merge, then render with `metric_pisa --resume`",
+            results.len(),
+            ckpt_path.display()
+        );
+        return;
+    }
 
     let col_names: Vec<String> = objectives.iter().map(|o| o.name().to_string()).collect();
     let row_names: Vec<String> = pairs.iter().map(|(a, b)| format!("{a} vs {b}")).collect();

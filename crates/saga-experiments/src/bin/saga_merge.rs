@@ -1,0 +1,67 @@
+//! `saga-merge`: unions sharded checkpoint JSONL files into one canonical
+//! checkpoint.
+//!
+//! After N hosts run `<bin> --shard i/N`, each leaves its own checkpoint
+//! (`results/fig4_cells.shard{i}of{N}.jsonl`); this bin merges them back
+//! into the file a 1-host run would have produced:
+//!
+//! ```text
+//! saga-merge --out results/fig4_cells.jsonl \
+//!     results/fig4_cells.shard0of2.jsonl results/fig4_cells.shard1of2.jsonl
+//! ```
+//!
+//! Output is canonical (key-sorted, original line bytes — see
+//! [`saga_experiments::merge`]); run a 1-host checkpoint through
+//! `saga-merge` by itself to canonicalize it for a byte-for-byte diff, as
+//! CI does. Duplicate keys must carry byte-identical records (dropped and
+//! counted); conflicting records are a hard error; torn lines are counted
+//! and skipped. Exit status: 0 on success, 1 on conflict or I/O failure.
+//!
+//! Usage: `saga-merge --out MERGED.jsonl INPUT.jsonl [INPUT.jsonl ...]`
+
+use saga_experiments::merge;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out: Option<PathBuf> = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("fatal: --out needs a path");
+                    std::process::exit(1);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: saga-merge --out MERGED.jsonl INPUT.jsonl [INPUT.jsonl ...]");
+                return;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("fatal: unknown flag {flag}");
+                std::process::exit(1);
+            }
+            path => inputs.push(PathBuf::from(path)),
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("fatal: missing --out (usage: saga-merge --out MERGED.jsonl INPUT.jsonl ...)");
+        std::process::exit(1);
+    };
+    if inputs.is_empty() {
+        eprintln!("fatal: no input checkpoints given");
+        std::process::exit(1);
+    }
+    match merge::merge_to_path(&inputs, &out) {
+        Ok(summary) => {
+            eprintln!("merged into {}: {summary}", out.display());
+        }
+        Err(e) => {
+            eprintln!("fatal: {e}");
+            std::process::exit(1);
+        }
+    }
+}

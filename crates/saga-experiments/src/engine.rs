@@ -48,6 +48,8 @@ pub struct Progress {
     total: usize,
     every: usize,
     done: AtomicUsize,
+    claims: AtomicUsize,
+    steals: AtomicUsize,
 }
 
 impl Progress {
@@ -58,6 +60,8 @@ impl Progress {
             total,
             every: (total / 20).max(1),
             done: AtomicUsize::new(0),
+            claims: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
         }
     }
 
@@ -72,6 +76,57 @@ impl Progress {
     /// Number of cells completed so far.
     pub fn completed(&self) -> usize {
         self.done.load(Ordering::Relaxed)
+    }
+
+    /// Folds one parallel run's scheduler counters into this reporter's
+    /// claim/steal totals, and — under `SAGA_WORKER_STATS=1` — prints the
+    /// per-worker imbalance summary.
+    pub fn note_worker_stats(&self, stats: &rayon::RunStats) {
+        self.claims
+            .fetch_add(stats.total_claims(), Ordering::Relaxed);
+        self.steals
+            .fetch_add(stats.total_steals(), Ordering::Relaxed);
+        if worker_stats_enabled() {
+            eprintln!(
+                "[{}] workers: {} claims: {:?} steals: {:?} items: {:?} imbalance: {:.2}x",
+                self.label,
+                stats.workers(),
+                stats.claims,
+                stats.steals,
+                stats.items,
+                stats.imbalance(),
+            );
+        }
+    }
+
+    /// Total chunk claims observed across the runs folded into this
+    /// reporter.
+    pub fn claims(&self) -> usize {
+        self.claims.load(Ordering::Relaxed)
+    }
+
+    /// Total work steals observed across the runs folded into this
+    /// reporter (0 under the sequential short-circuit or the legacy cursor
+    /// queue).
+    pub fn steals(&self) -> usize {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+/// Whether per-worker scheduler summaries print after each parallel run.
+/// Set `SAGA_WORKER_STATS=1` to enable; read once per process.
+pub fn worker_stats_enabled() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("SAGA_WORKER_STATS").is_some_and(|v| v == "1"))
+}
+
+/// Hands the just-finished parallel run's scheduler counters to `progress`
+/// (claim/steal accumulation + the optional `SAGA_WORKER_STATS` summary).
+/// Advisory: the stats slot is global, so a run issued concurrently from
+/// another thread may take it first — counters are diagnostics, not truth.
+fn observe_workers(progress: Option<&Progress>) {
+    if let (Some(p), Some(stats)) = (progress, rayon::take_last_run_stats()) {
+        p.note_worker_stats(&stats);
     }
 }
 
@@ -235,6 +290,7 @@ impl BatchEngine {
                 },
             )
             .collect();
+        observe_workers(progress);
         let mut results: Vec<Option<PisaResult>> = cells.iter().map(|_| None).collect();
         for (i, res) in by_unit.drain(..).flatten() {
             results[i] = res;
@@ -291,7 +347,7 @@ impl BatchEngine {
         seed: u64,
         progress: Option<&Progress>,
     ) -> Vec<Vec<f64>> {
-        (0..count)
+        let rows: Vec<Vec<f64>> = (0..count)
             .collect::<Vec<_>>()
             .into_par_iter()
             .map_init(
@@ -313,7 +369,9 @@ impl BatchEngine {
                     row
                 },
             )
-            .collect()
+            .collect();
+        observe_workers(progress);
+        rows
     }
 
     /// Runs every scheduler on every instance — the fig2-class inner loop.
@@ -326,7 +384,7 @@ impl BatchEngine {
         instances: &[Instance],
         progress: Option<&Progress>,
     ) -> Vec<Vec<f64>> {
-        instances
+        let rows: Vec<Vec<f64>> = instances
             .par_iter()
             .map_init(
                 || self.pool.take(),
@@ -343,7 +401,97 @@ impl BatchEngine {
                     row
                 },
             )
-            .collect()
+            .collect();
+        observe_workers(progress);
+        rows
+    }
+
+    /// [`dataset_makespans`](Self::dataset_makespans) for *distributed,
+    /// resumable* fig2-class runs: each instance row carries a stable key
+    /// (`key_of(k)`), only rows in `shard` are computed (the rest come back
+    /// `None`), and rows already stored in the [`RowCheckpoint`] replay
+    /// instead of re-running. Computed makespans are bit-identical to the
+    /// unsharded [`dataset_makespans`] path — same per-instance seed
+    /// streams, same pinned-table evaluation — so the union of all shards'
+    /// checkpoints reconstructs the 1-host run exactly.
+    ///
+    /// A checkpoint write failure skips rows not yet started (mirroring
+    /// [`run_cells`](Self::run_cells)) and returns the first I/O error with
+    /// everything recorded before it already flushed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dataset_makespans_sharded(
+        &self,
+        schedulers: &[Box<dyn Scheduler>],
+        gen: &saga_datasets::DatasetGenerator,
+        count: usize,
+        seed: u64,
+        key_of: &(impl Fn(usize) -> String + Sync),
+        shard: saga_pisa::ShardSpec,
+        progress: Option<&Progress>,
+        checkpoint: Option<&RowCheckpoint>,
+    ) -> std::io::Result<Vec<Option<Vec<f64>>>> {
+        use std::sync::atomic::AtomicBool;
+        let write_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+        let failed = AtomicBool::new(false);
+        let rows: Vec<Option<Vec<f64>>> = (0..count)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map_init(
+                || self.pool.take(),
+                |ctx, k| {
+                    let key = key_of(k);
+                    if !shard.contains_key(&key) {
+                        return None;
+                    }
+                    if let Some(stored) = checkpoint.and_then(|c| c.stored(&key)) {
+                        // replayed, not re-recorded: the file already holds
+                        // this line
+                        if let Some(p) = progress {
+                            p.tick();
+                        }
+                        return Some(stored);
+                    }
+                    if failed.load(Ordering::Relaxed) {
+                        // a failed checkpoint write means the run can't
+                        // complete; don't burn work that would be discarded
+                        return None;
+                    }
+                    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                        derive_seed(seed, k as u64),
+                    );
+                    let inst = gen.sample(&mut rng);
+                    let row = ctx.with_pinned(&inst, |ctx| {
+                        schedulers
+                            .iter()
+                            .map(|s| s.makespan_into(&inst, ctx))
+                            .collect::<Vec<f64>>()
+                    });
+                    if let Some(c) = checkpoint {
+                        if let Err(e) = c.record(&key, &row) {
+                            let mut slot = write_error
+                                .lock()
+                                .unwrap_or_else(|poisoned| poisoned.into_inner());
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    if let Some(p) = progress {
+                        p.tick();
+                    }
+                    Some(row)
+                },
+            )
+            .collect();
+        observe_workers(progress);
+        let first_error = write_error
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(rows),
+        }
     }
 }
 
@@ -501,6 +649,148 @@ impl CellCheckpoint {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         // a poisoned file mutex still wraps a usable handle: the writer that
         // panicked completed or abandoned its line, and ours appends whole
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        writeln!(file, "{line}")?;
+        file.flush()
+    }
+}
+
+/// One keyed makespan row, as persisted in a [`RowCheckpoint`] JSONL.
+/// Makespans are stored as space-joined `f64::to_bits` hex words — replay
+/// must be bit-identical and JSON float printing wouldn't round-trip
+/// infinities or the last ulp.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RowRecord {
+    key: String,
+    bits: String,
+}
+
+impl RowRecord {
+    fn new(key: &str, row: &[f64]) -> Self {
+        RowRecord {
+            key: key.to_string(),
+            bits: row
+                .iter()
+                .map(|m| format!("{:016x}", m.to_bits()))
+                .collect::<Vec<_>>()
+                .join(" "),
+        }
+    }
+
+    fn row(&self) -> Option<Vec<f64>> {
+        if self.bits.trim().is_empty() {
+            return Some(Vec::new());
+        }
+        self.bits
+            .split_whitespace()
+            .map(|w| u64::from_str_radix(w, 16).ok().map(f64::from_bits))
+            .collect()
+    }
+}
+
+/// A JSONL checkpoint for keyed makespan rows — the fig2-class analogue of
+/// [`CellCheckpoint`] (there is no [`SearchCell`] behind a benchmarking
+/// row, so the row's key string is the contract instead). Same semantics:
+/// append-and-flush per row, resume replays stored keys, torn lines are
+/// counted and skipped, a tear is newline-terminated so later appends
+/// can't merge into it.
+pub struct RowCheckpoint {
+    done: BTreeMap<String, Vec<f64>>,
+    file: Mutex<std::fs::File>,
+    skipped: usize,
+}
+
+impl RowCheckpoint {
+    /// Opens `path` for checkpointing; with `resume`, existing well-formed
+    /// lines load for replay (malformed ones are counted and reported),
+    /// otherwise the file is truncated.
+    pub fn open(path: &std::path::Path, resume: bool) -> std::io::Result<Self> {
+        let mut done = BTreeMap::new();
+        let mut unterminated = false;
+        let mut skipped = 0usize;
+        if resume {
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    unterminated = !text.is_empty() && !text.ends_with('\n');
+                    for (lineno, line) in text.lines().enumerate() {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        let parsed = serde_json::from_str::<RowRecord>(line)
+                            .ok()
+                            .and_then(|r| Some((r.key.clone(), r.row()?)));
+                        match parsed {
+                            Some((key, row)) => {
+                                done.insert(key, row);
+                            }
+                            None => {
+                                skipped += 1;
+                                eprintln!(
+                                    "[checkpoint] skipping malformed line {} of {}",
+                                    lineno + 1,
+                                    path.display()
+                                );
+                            }
+                        }
+                    }
+                    if skipped > 0 {
+                        eprintln!(
+                            "[checkpoint] {} corrupted/unparseable line(s) skipped in {} — \
+                             the affected rows will re-run",
+                            skipped,
+                            path.display()
+                        );
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(resume)
+            .truncate(!resume)
+            .write(true)
+            .open(path)?;
+        if unterminated {
+            // terminate the torn final line so the next append starts clean
+            writeln!(file)?;
+        }
+        Ok(RowCheckpoint {
+            done,
+            file: Mutex::new(file),
+            skipped,
+        })
+    }
+
+    /// Number of rows loaded from the file for replay.
+    pub fn loaded(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Number of malformed/unparseable lines skipped while loading.
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// The stored makespan row for `key`, if present.
+    pub fn stored(&self, key: &str) -> Option<Vec<f64>> {
+        self.done.get(key).cloned()
+    }
+
+    /// Appends one finished row and flushes; I/O failures are returned, not
+    /// panicked, mirroring [`CellCheckpoint::record`].
+    pub fn record(&self, key: &str, row: &[f64]) -> std::io::Result<()> {
+        let line = serde_json::to_string(&RowRecord::new(key, row))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         let mut file = self
             .file
             .lock()
@@ -705,5 +995,144 @@ mod tests {
             p.tick();
         }
         assert_eq!(p.completed(), 10);
+    }
+
+    #[test]
+    fn progress_accumulates_scheduler_counters() {
+        let p = Progress::new("test", 4);
+        p.note_worker_stats(&rayon::RunStats {
+            claims: vec![2, 1],
+            steals: vec![0, 1],
+            items: vec![3, 1],
+        });
+        p.note_worker_stats(&rayon::RunStats {
+            claims: vec![1],
+            steals: vec![0],
+            items: vec![4],
+        });
+        assert_eq!(p.claims(), 4);
+        assert_eq!(p.steals(), 1);
+    }
+
+    #[test]
+    fn row_checkpoint_round_trips_bits_and_counts_tears() {
+        let path =
+            std::env::temp_dir().join(format!("saga_rowckpt_test_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let ck = RowCheckpoint::open(&path, false).unwrap();
+        let row = vec![1.5, f64::INFINITY, 0.1 + 0.2];
+        ck.record("fig2/chains#k0#s0000000000000001", &row).unwrap();
+        ck.record("fig2/chains#k1#s0000000000000001", &[]).unwrap();
+        drop(ck);
+        // simulate a crash mid-append
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"key\":\"fig2/chains#k2").unwrap();
+        }
+        let ck = RowCheckpoint::open(&path, true).unwrap();
+        assert_eq!(ck.loaded(), 2);
+        assert_eq!(ck.skipped(), 1);
+        let replay = ck.stored("fig2/chains#k0#s0000000000000001").unwrap();
+        assert_eq!(
+            replay.iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+            row.iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+            "replay must be bit-identical, infinities included"
+        );
+        assert_eq!(
+            ck.stored("fig2/chains#k1#s0000000000000001").unwrap(),
+            vec![]
+        );
+        // appending after the tear starts a fresh line
+        ck.record("fig2/chains#k3#s0000000000000001", &[2.0])
+            .unwrap();
+        drop(ck);
+        let ck = RowCheckpoint::open(&path, true).unwrap();
+        assert_eq!(ck.loaded(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_dataset_rows_cover_exactly_and_match_unsharded() {
+        use saga_pisa::ShardSpec;
+        let gen = saga_datasets::by_name("chains").unwrap();
+        let scheds = benchmark_schedulers();
+        let engine = BatchEngine::new();
+        let count = 6;
+        let seed = 0xF162;
+        let key_of = |k: usize| format!("fig2/chains#k{k}#s{seed:016x}");
+        let full = engine.dataset_makespans(&scheds, &gen, count, seed, None);
+        let mut merged: Vec<Option<Vec<f64>>> = vec![None; count];
+        for index in 0..3u64 {
+            let shard = ShardSpec { index, count: 3 };
+            let rows = engine
+                .dataset_makespans_sharded(&scheds, &gen, count, seed, &key_of, shard, None, None)
+                .unwrap();
+            for (k, row) in rows.into_iter().enumerate() {
+                if let Some(row) = row {
+                    assert!(merged[k].is_none(), "row {k} computed by two shards");
+                    merged[k] = Some(row);
+                }
+            }
+        }
+        for (k, row) in merged.into_iter().enumerate() {
+            let row = row.unwrap_or_else(|| panic!("row {k} computed by no shard"));
+            assert_eq!(
+                row.iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+                full[k].iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+                "sharded row {k} must match the unsharded run bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_dataset_rows_replay_from_checkpoint() {
+        use saga_pisa::ShardSpec;
+        let gen = saga_datasets::by_name("chains").unwrap();
+        let scheds = benchmark_schedulers();
+        let engine = BatchEngine::new();
+        let seed = 0xF162;
+        let key_of = |k: usize| format!("fig2/chains#k{k}#s{seed:016x}");
+        let path =
+            std::env::temp_dir().join(format!("saga_rowckpt_shard_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let ck = RowCheckpoint::open(&path, false).unwrap();
+        let fresh = engine
+            .dataset_makespans_sharded(
+                &scheds,
+                &gen,
+                4,
+                seed,
+                &key_of,
+                ShardSpec::FULL,
+                None,
+                Some(&ck),
+            )
+            .unwrap();
+        drop(ck);
+        let ck = RowCheckpoint::open(&path, true).unwrap();
+        assert_eq!(ck.loaded(), 4);
+        let replayed = engine
+            .dataset_makespans_sharded(
+                &scheds,
+                &gen,
+                4,
+                seed,
+                &key_of,
+                ShardSpec::FULL,
+                None,
+                Some(&ck),
+            )
+            .unwrap();
+        for (a, b) in fresh.iter().zip(&replayed) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(
+                a.iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -27,6 +27,7 @@ use saga_schedulers::Scheduler;
 pub mod benchmarking;
 pub mod cli;
 pub mod engine;
+pub mod merge;
 pub mod render;
 
 /// Evaluates every scheduler on one instance and returns the makespans in

@@ -35,12 +35,14 @@ pub mod metric;
 pub mod pairwise;
 pub mod perturb;
 pub mod runner;
+pub mod shard;
 
 pub use annealer::{AnnealScratch, PairTraces, Pisa, PisaConfig, PisaResult};
 pub use lockstep::{lockstep_supported, plan_units, run_cells_lockstep, ExecUnit, LANE_BUDGET};
 pub use pairwise::{pairwise_cells, pairwise_matrix, PairwiseMatrix};
 pub use perturb::{GeneralPerturber, Perturber};
 pub use runner::{cell_config, run_cells_pooled, CellKind, SearchCell};
+pub use shard::{shard_cells, ShardSpec};
 
 /// The adversarial objective: the makespan ratio of `target` against
 /// `baseline` (`m_A / m_B`), with the conventions the paper's `> 1000`

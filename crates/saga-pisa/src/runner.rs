@@ -27,7 +27,7 @@ use crate::lockstep;
 use crate::metric::{self, Objective};
 use crate::perturb::{initial_instance, GeneralPerturber};
 use rayon::prelude::*;
-use saga_core::{derive_seed, BatchedSchedContext, ContextPool, SchedContext};
+use saga_core::{derive_seed, fnv1a, BatchedSchedContext, ContextPool, SchedContext};
 use saga_schedulers::Scheduler;
 
 /// What one adversarial-search cell searches.
@@ -246,18 +246,6 @@ impl SearchCell {
             ),
         }
     }
-}
-
-/// FNV-1a over the canonical cell-config string — stable, dependency-free,
-/// and collision-resistant enough for checkpoint keys (a collision would
-/// additionally need identical label, budget and seed).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// Derives cell `index`'s config from a base config: same budget, own seed.

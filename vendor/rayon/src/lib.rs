@@ -6,17 +6,25 @@
 //! `for_each` and `sum`, plus `with_min_len` — on top of
 //! `std::thread::scope`.
 //!
-//! Scheduling is *dynamic*: the input is split into many small chunks (far
-//! more than there are workers) and workers pull the next unclaimed chunk
-//! from a shared atomic cursor. A worker stuck on a skewed, expensive chunk
-//! simply claims fewer chunks while its peers drain the rest — the
-//! chunk-per-thread static partitioning this replaces made such workloads
-//! straggle on one thread. Chunk results are reassembled in chunk order, so
-//! `par_iter().map(f).collect()` returns exactly what the sequential
-//! pipeline would (rayon's ordering guarantee), independent of thread count
-//! and of which worker ran which chunk.
+//! Scheduling uses *work-stealing deques*, like real rayon: the input is
+//! split once into one contiguous segment per worker, each worker keeps its
+//! segment in its own deque, and splits chunks off **lazily** as it
+//! processes them (no up-front per-chunk materialization, no lock per
+//! chunk — one short-lived lock per *deque* operation). A worker whose own
+//! deque runs dry steals the oldest pending piece from a sibling's deque,
+//! so a worker stuck on a skewed, expensive chunk keeps only the chunk in
+//! its hands while its peers carve up and drain everything it had queued —
+//! the shared-cursor chunk queue this replaces kept balance but paid a
+//! pre-split `Mutex<Option<Vec<T>>>` slot per chunk and a lock round-trip
+//! per claim.
 //!
-//! `with_min_len(n)` bounds splitting from below (rayon's own knob): chunks
+//! Every processed piece is tagged with its global start index and results
+//! are reassembled by start order, so `par_iter().map(f).collect()` returns
+//! exactly what the sequential pipeline would (rayon's ordering guarantee),
+//! independent of thread count, of which worker ran which piece, and of how
+//! stealing happened to split the segments.
+//!
+//! `with_min_len(n)` bounds splitting from below (rayon's own knob): pieces
 //! are never smaller than `n` items, for workloads where per-chunk overhead
 //! matters more than balance.
 //!
@@ -30,10 +38,18 @@
 //! single-chunk input — short-circuits to a plain sequential loop with no
 //! thread spawned. Worker panics propagate to the caller, as in rayon.
 //!
+//! Observability: each parallel run records per-worker claim/steal/item
+//! counters ([`RunStats`], retrievable once via [`take_last_run_stats`]) so
+//! drivers can print imbalance summaries. `RAYON_QUEUE=cursor` selects the
+//! legacy shared-cursor chunk queue (kept verbatim as an in-tree A/B
+//! baseline and escape hatch); both schedulers produce byte-identical
+//! output by construction.
+//!
 //! Swapping the real rayon back in remains a one-line manifest change.
 
 #![warn(missing_docs)]
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -56,9 +72,17 @@ fn num_threads() -> usize {
         })
 }
 
-/// How many chunks to aim for per worker. Oversubscription is what lets the
-/// dynamic queue absorb skew: with `k` chunks in flight per worker, one
-/// straggler chunk costs at most `~1/k` of the ideal span extra.
+/// Whether the legacy shared-cursor chunk queue should run instead of the
+/// work-stealing deques (`RAYON_QUEUE=cursor`). Read per call, like
+/// `RAYON_NUM_THREADS`, so benchmarks can A/B the two schedulers inside one
+/// process. Any other value — or unset — selects the deques.
+fn use_cursor_queue() -> bool {
+    std::env::var("RAYON_QUEUE").is_ok_and(|v| v == "cursor")
+}
+
+/// How many chunks to aim for per worker. Oversubscription is what lets
+/// stealing absorb skew: with `k` pieces in flight per worker, one
+/// straggler piece costs at most `~1/k` of the ideal span extra.
 const CHUNKS_PER_THREAD: usize = 8;
 
 /// The chunk length used for `len` items across `threads` workers with a
@@ -68,12 +92,339 @@ fn chunk_len_for(len: usize, threads: usize, min_len: usize) -> usize {
     target.max(min_len).max(1)
 }
 
+/// Per-worker counters from one parallel run, for imbalance diagnostics.
+/// Index `w` is worker `w`'s row; the sequential short-circuit reports one
+/// worker with zero steals.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Chunks a worker claimed from its *own* deque (or, on the legacy
+    /// cursor queue, from the shared cursor).
+    pub claims: Vec<usize>,
+    /// Tasks a worker stole from a sibling's deque (always 0 on the legacy
+    /// cursor queue).
+    pub steals: Vec<usize>,
+    /// Items a worker processed.
+    pub items: Vec<usize>,
+}
+
+impl RunStats {
+    /// Number of workers that participated.
+    pub fn workers(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Total chunk claims across workers.
+    pub fn total_claims(&self) -> usize {
+        self.claims.iter().sum()
+    }
+
+    /// Total successful steals across workers.
+    pub fn total_steals(&self) -> usize {
+        self.steals.iter().sum()
+    }
+
+    /// Ratio of the busiest worker's item count to a fair per-worker share
+    /// (1.0 = perfectly balanced). 0.0 for an empty run.
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.items.iter().sum();
+        if total == 0 || self.items.is_empty() {
+            return 0.0;
+        }
+        let fair = total as f64 / self.items.len() as f64;
+        self.items.iter().copied().max().unwrap_or(0) as f64 / fair
+    }
+}
+
+/// The most recent parallel run's stats, for drivers that want to surface
+/// scheduler behavior. A single slot, not a queue: runs are expected to be
+/// read (taken) by the driver that just issued them.
+static LAST_RUN_STATS: Mutex<Option<RunStats>> = Mutex::new(None);
+
+/// Takes (and clears) the stats of the most recently completed parallel
+/// run. Advisory observability only: concurrent parallel runs from
+/// different threads race for the slot, so callers should read immediately
+/// after their own run completes.
+pub fn take_last_run_stats() -> Option<RunStats> {
+    LAST_RUN_STATS
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .take()
+}
+
+fn store_run_stats(stats: RunStats) {
+    *LAST_RUN_STATS
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(stats);
+}
+
+/// Decrements a shared remaining-items counter on drop, so the termination
+/// scan (`items left == 0`) stays correct even when a worker's `op` panics
+/// mid-chunk: the unwound chunk still counts as "no longer pending" and
+/// sibling workers drain the rest and exit instead of spinning forever.
+struct CountChunk<'a> {
+    remaining: &'a AtomicUsize,
+    n: usize,
+}
+
+impl Drop for CountChunk<'_> {
+    fn drop(&mut self) {
+        self.remaining.fetch_sub(self.n, Ordering::Relaxed);
+    }
+}
+
+/// One stealable unit: a contiguous run of input items starting at a global
+/// index. Owners split chunks off the front lazily; thieves take the whole
+/// task and split it themselves.
+type Task<T> = (usize, Vec<T>);
+
+/// Work-stealing execution: maps `items` through `op` (threaded through
+/// per-worker `init` state) on `threads` scoped OS threads, preserving
+/// input order in the output, and returns per-worker counters.
+///
+/// Each worker starts with one contiguous segment of the input in its own
+/// deque. The worker loop: pop a task from the local deque front; if the
+/// task is longer than `chunk_len`, split the tail back off into the deque
+/// (still at the front, so local processing stays in input order) and run
+/// just the head chunk. A worker whose deque is empty scans its siblings
+/// and steals from the *back* of the first non-empty deque — the piece
+/// furthest from what the owner touches next. Workers exit when every deque
+/// is empty and no items remain in flight.
+fn parallel_map_init_deque<T, S, R, I, F>(
+    items: Vec<T>,
+    init: &I,
+    op: &F,
+    threads: usize,
+    chunk_len: usize,
+) -> (Vec<R>, RunStats)
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let len = items.len();
+    // one contiguous segment per worker, near-equal sizes, single pass
+    let mut deques: Vec<Mutex<VecDeque<Task<T>>>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    let mut start = 0usize;
+    for w in 0..threads {
+        let n = len / threads + usize::from(w < len % threads);
+        let seg: Vec<T> = it.by_ref().take(n).collect();
+        let mut dq = VecDeque::with_capacity(4);
+        if !seg.is_empty() {
+            dq.push_back((start, seg));
+        }
+        deques.push(Mutex::new(dq));
+        start += n;
+    }
+    let remaining = AtomicUsize::new(len);
+    let mut pieces: Vec<(usize, Vec<R>)> = Vec::new();
+    let mut stats = RunStats {
+        claims: vec![0; threads],
+        steals: vec![0; threads],
+        items: vec![0; threads],
+    };
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let deques = &deques;
+                let remaining = &remaining;
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut claims = 0usize;
+                    let mut steals = 0usize;
+                    let mut items_done = 0usize;
+                    let mut out: Vec<(usize, Vec<R>)> = Vec::new();
+                    'work: loop {
+                        // 1. local pop (front: keeps a worker walking its
+                        //    segment in input order, cache-friendly)
+                        let mut task = deques[w]
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .pop_front();
+                        if task.is_some() {
+                            claims += 1;
+                        }
+                        // 2. steal scan: oldest piece of the first victim
+                        //    that has one
+                        if task.is_none() {
+                            for v in 1..threads {
+                                let victim = (w + v) % threads;
+                                let stolen = deques[victim]
+                                    .lock()
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                    .pop_back();
+                                if stolen.is_some() {
+                                    task = stolen;
+                                    steals += 1;
+                                    break;
+                                }
+                            }
+                        }
+                        let Some((start, mut vec)) = task else {
+                            // 3. nothing visible: done if nothing is in
+                            //    flight either, otherwise a sibling holds a
+                            //    task it may split back into a deque
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break 'work;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        // 4. lazy split: keep one chunk, push the tail back
+                        //    where thieves can reach it while we work
+                        if vec.len() > chunk_len {
+                            let rest = vec.split_off(chunk_len);
+                            deques[w]
+                                .lock()
+                                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                .push_front((start + chunk_len, rest));
+                        }
+                        let guard = CountChunk {
+                            remaining,
+                            n: vec.len(),
+                        };
+                        items_done += vec.len();
+                        let res: Vec<R> = vec.into_iter().map(|x| op(&mut state, x)).collect();
+                        drop(guard);
+                        out.push((start, res));
+                    }
+                    (out, claims, steals, items_done)
+                })
+            })
+            .collect();
+        let mut first_panic = None;
+        for (w, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok((out, claims, steals, items_done)) => {
+                    pieces.extend(out);
+                    stats.claims[w] = claims;
+                    stats.steals[w] = steals;
+                    stats.items[w] = items_done;
+                }
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    // reassemble in input order: piece start indices are disjoint and
+    // independent of which worker produced them
+    pieces.sort_unstable_by_key(|&(start, _)| start);
+    let mut out: Vec<R> = Vec::with_capacity(len);
+    for (_, piece) in pieces {
+        out.extend(piece);
+    }
+    (out, stats)
+}
+
+/// The legacy scheduler, kept as an in-tree A/B baseline
+/// (`RAYON_QUEUE=cursor`): the input is pre-split into per-chunk
+/// `Mutex<Option<Vec<T>>>` slots and workers claim chunk indices from a
+/// shared atomic cursor. Same ordering, panic, and thread-count contract as
+/// the deques.
+fn parallel_map_init_cursor<T, S, R, I, F>(
+    items: Vec<T>,
+    init: &I,
+    op: &F,
+    threads: usize,
+    chunk_len: usize,
+) -> (Vec<R>, RunStats)
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let len = items.len();
+    let mut chunks: Vec<Mutex<Option<Vec<T>>>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(Mutex::new(Some(chunk)));
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Vec<R>>> = Vec::new();
+    slots.resize_with(chunks.len(), || None);
+    let slots = Mutex::new(slots);
+    let mut stats = RunStats {
+        claims: vec![0; threads],
+        steals: vec![0; threads],
+        items: vec![0; threads],
+    };
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let chunks = &chunks;
+                let cursor = &cursor;
+                let slots = &slots;
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut claims = 0usize;
+                    let mut items_done = 0usize;
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= chunks.len() {
+                            break;
+                        }
+                        let chunk = chunks[idx]
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .take()
+                            .expect("chunk claimed twice");
+                        claims += 1;
+                        items_done += chunk.len();
+                        let out: Vec<R> = chunk.into_iter().map(|x| op(&mut state, x)).collect();
+                        slots
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())[idx] = Some(out);
+                    }
+                    (claims, items_done)
+                })
+            })
+            .collect();
+        let mut first_panic = None;
+        for (w, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok((claims, items_done)) => {
+                    stats.claims[w] = claims;
+                    stats.items[w] = items_done;
+                }
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    let mut out: Vec<R> = Vec::with_capacity(len);
+    for slot in slots
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    {
+        out.extend(slot.expect("worker completed every claimed chunk"));
+    }
+    (out, stats)
+}
+
 /// Maps `items` through `op` (threaded through per-worker `init` state) on
 /// up to `threads` scoped OS threads, preserving input order in the output.
-///
-/// Workers claim chunks from a shared cursor; each `(chunk index, results)`
-/// pair lands in a slot vector and the slots are concatenated in chunk
-/// order, so the output order never depends on scheduling.
+/// Dispatches to the work-stealing deques (default) or the legacy cursor
+/// queue (`RAYON_QUEUE=cursor`), records [`RunStats`], and short-circuits
+/// single-chunk or single-thread inputs to a plain sequential loop with no
+/// thread spawned.
 fn parallel_map_init_with<T, S, R, I, F>(
     items: Vec<T>,
     init: &I,
@@ -93,58 +444,20 @@ where
     let threads = threads.min(n_chunks);
     if threads <= 1 {
         let mut state = init();
-        return items.into_iter().map(|x| op(&mut state, x)).collect();
+        let out: Vec<R> = items.into_iter().map(|x| op(&mut state, x)).collect();
+        store_run_stats(RunStats {
+            claims: vec![usize::from(len > 0)],
+            steals: vec![0],
+            items: vec![len],
+        });
+        return out;
     }
-    // Pre-split into owned chunks behind per-chunk locks: the atomic cursor
-    // hands each index to exactly one worker, which takes the chunk out.
-    let mut chunks: Vec<Mutex<Option<Vec<T>>>> = Vec::with_capacity(n_chunks);
-    let mut it = items.into_iter();
-    loop {
-        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        chunks.push(Mutex::new(Some(chunk)));
-    }
-    debug_assert_eq!(chunks.len(), n_chunks);
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<Vec<R>>> = Vec::new();
-    slots.resize_with(n_chunks, || None);
-    let slots = Mutex::new(slots);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let chunks = &chunks;
-                let cursor = &cursor;
-                let slots = &slots;
-                scope.spawn(move || {
-                    let mut state = init();
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        if idx >= chunks.len() {
-                            break;
-                        }
-                        let chunk = chunks[idx]
-                            .lock()
-                            .expect("chunk lock")
-                            .take()
-                            .expect("chunk claimed twice");
-                        let out: Vec<R> = chunk.into_iter().map(|x| op(&mut state, x)).collect();
-                        slots.lock().expect("slot lock")[idx] = Some(out);
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
-            }
-        }
-    });
-    let mut out: Vec<R> = Vec::with_capacity(len);
-    for slot in slots.into_inner().expect("slot lock") {
-        out.extend(slot.expect("worker completed every claimed chunk"));
-    }
+    let (out, stats) = if use_cursor_queue() {
+        parallel_map_init_cursor(items, init, op, threads, chunk_len)
+    } else {
+        parallel_map_init_deque(items, init, op, threads, chunk_len)
+    };
+    store_run_stats(stats);
     out
 }
 
@@ -354,6 +667,18 @@ mod tests {
     use std::thread::ThreadId;
     use std::time::Duration;
 
+    /// Runs the deque scheduler directly (no env dependence) with the
+    /// public entry point's chunk sizing.
+    fn run_deque<T: Send, R: Send>(
+        items: Vec<T>,
+        f: impl Fn(T) -> R + Sync,
+        threads: usize,
+        min_len: usize,
+    ) -> (Vec<R>, RunStats) {
+        let chunk_len = chunk_len_for(items.len(), threads, min_len);
+        parallel_map_init_deque(items, &|| (), &|(), x| f(x), threads, chunk_len)
+    }
+
     #[test]
     fn par_iter_matches_iter() {
         let xs = vec![1, 2, 3, 4];
@@ -443,6 +768,44 @@ mod tests {
         assert_eq!(one, vec![8]);
     }
 
+    /// The sequential short-circuits are part of the contract: an empty
+    /// input and a single-chunk input must run on the calling thread with
+    /// no worker spawned (regression tests for the deque rewrite).
+    #[test]
+    fn empty_input_short_circuits_sequentially() {
+        let me = std::thread::current().id();
+        let ids: Vec<ThreadId> =
+            parallel_map_with(Vec::<usize>::new(), &|_| std::thread::current().id(), 4, 0);
+        assert!(ids.is_empty());
+        // the recorded stats reflect a one-worker (caller) run of 0 items
+        let stats = take_last_run_stats().expect("stats recorded");
+        assert_eq!(stats.workers(), 1);
+        assert_eq!(stats.items, vec![0]);
+        assert_eq!(stats.total_steals(), 0);
+        let _ = me;
+    }
+
+    #[test]
+    fn single_chunk_input_short_circuits_sequentially() {
+        let me = std::thread::current().id();
+        // min_len larger than the input: exactly one chunk, so even with 4
+        // threads requested everything runs on the caller
+        let ids: Vec<ThreadId> = parallel_map_with(
+            (0..10).collect::<Vec<usize>>(),
+            &|_| std::thread::current().id(),
+            4,
+            64,
+        );
+        assert_eq!(ids.len(), 10);
+        assert!(
+            ids.iter().all(|&id| id == me),
+            "single-chunk input must not spawn workers"
+        );
+        let stats = take_last_run_stats().expect("stats recorded");
+        assert_eq!(stats.workers(), 1);
+        assert_eq!(stats.items, vec![10]);
+    }
+
     #[test]
     fn worker_panic_propagates() {
         let result = std::panic::catch_unwind(|| {
@@ -457,6 +820,26 @@ mod tests {
                 },
                 4,
                 0,
+            );
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn worker_panic_propagates_on_cursor_queue() {
+        let result = std::panic::catch_unwind(|| {
+            let xs: Vec<usize> = (0..32).collect();
+            let _: (Vec<usize>, RunStats) = parallel_map_init_cursor(
+                xs,
+                &|| (),
+                &|(), i| {
+                    if i == 17 {
+                        panic!("boom");
+                    }
+                    i
+                },
+                4,
+                2,
             );
         });
         assert!(result.is_err(), "worker panic must reach the caller");
@@ -509,24 +892,37 @@ mod tests {
         assert_eq!(ys, (1..=100).collect::<Vec<_>>());
     }
 
-    /// The skewed-workload balance test the dynamic queue exists for: eight
-    /// expensive items (10 ms) clustered at the front of the input, 56 cheap
-    /// ones (1 ms) behind them, 4 workers. Static chunk-per-thread
-    /// partitioning hands *all* the expensive items to worker 0 (its share
-    /// of total work: 88 ms of 136 ms ≈ 2.6× fair). With dynamic chunking a
-    /// worker holding an expensive item stops claiming chunks while its
-    /// peers drain the cheap ones, so no worker ends up with more than 2× a
-    /// fair share of the total sleep-weight.
     #[test]
-    fn skewed_workload_balances_across_workers() {
+    fn cursor_queue_matches_deques_bit_for_bit() {
+        // both schedulers must produce the identical ordered output
+        let xs: Vec<usize> = (0..257).collect();
+        let chunk_len = chunk_len_for(xs.len(), 4, 0);
+        let (a, _) = parallel_map_init_deque(xs.clone(), &|| (), &|(), i| i * 31 + 7, 4, chunk_len);
+        let (b, _) = parallel_map_init_cursor(xs, &|| (), &|(), i| i * 31 + 7, 4, chunk_len);
+        assert_eq!(a, b);
+        assert_eq!(a, (0..257).map(|i| i * 31 + 7).collect::<Vec<usize>>());
+    }
+
+    /// The skewed-workload balance test the stealing deques exist for:
+    /// eight expensive items (10 ms) clustered at the front of the input,
+    /// 56 cheap ones (1 ms) behind them, 4 workers. Static chunk-per-thread
+    /// partitioning hands *all* the expensive items to worker 0 (its share
+    /// of total work: 88 ms of 136 ms ≈ 2.6× fair). With stealing, a worker
+    /// holding an expensive chunk keeps only that chunk while its peers
+    /// steal and drain its queued pieces, so no worker ends up with more
+    /// than 2× a fair share of the total sleep-weight — and since the heavy
+    /// items all start in worker 0's segment, the balance is only reachable
+    /// through nonzero steals.
+    #[test]
+    fn skewed_workload_balances_across_workers_with_steals() {
         const HEAVY: u64 = 10;
         const LIGHT: u64 = 1;
         let weights: Vec<u64> = (0..64).map(|i| if i < 8 { HEAVY } else { LIGHT }).collect();
         let total: u64 = weights.iter().sum();
         let per_thread: Mutex<HashMap<ThreadId, u64>> = Mutex::new(HashMap::new());
-        let _: Vec<()> = parallel_map_with(
+        let (_, stats) = run_deque(
             weights,
-            &|w| {
+            |w| {
                 std::thread::sleep(Duration::from_millis(w));
                 *per_thread
                     .lock()
@@ -550,5 +946,86 @@ mod tests {
             "one worker did {max_load} of {total} total ({}x its fair share {fair})",
             max_load / fair
         );
+        assert!(
+            stats.total_steals() > 0,
+            "a front-loaded skew must trigger stealing, saw {:?}",
+            stats.steals
+        );
+        assert_eq!(stats.items.iter().sum::<usize>(), 64);
+    }
+
+    /// The same skewed load on the legacy cursor queue still balances
+    /// (dynamic claiming), with zero steals by construction — the A/B
+    /// baseline the BENCH protocol compares against.
+    #[test]
+    fn skewed_workload_balances_on_cursor_queue_too() {
+        const HEAVY: u64 = 10;
+        const LIGHT: u64 = 1;
+        let weights: Vec<u64> = (0..64).map(|i| if i < 8 { HEAVY } else { LIGHT }).collect();
+        let total: u64 = weights.iter().sum();
+        let per_thread: Mutex<HashMap<ThreadId, u64>> = Mutex::new(HashMap::new());
+        let chunk_len = chunk_len_for(64, 4, 1);
+        let (_, stats) = parallel_map_init_cursor(
+            weights,
+            &|| (),
+            &|(), w| {
+                std::thread::sleep(Duration::from_millis(w));
+                *per_thread
+                    .lock()
+                    .unwrap()
+                    .entry(std::thread::current().id())
+                    .or_insert(0) += w;
+            },
+            4,
+            chunk_len,
+        );
+        let loads = per_thread.lock().unwrap();
+        let fair = total as f64 / 4.0;
+        let max_load = loads.values().copied().max().unwrap_or(0) as f64;
+        assert!(
+            max_load <= 2.0 * fair,
+            "one worker did {max_load} of {total} total ({}x its fair share {fair})",
+            max_load / fair
+        );
+        assert_eq!(stats.total_steals(), 0);
+    }
+
+    #[test]
+    fn run_stats_accounting_is_coherent() {
+        let xs: Vec<usize> = (0..200).collect();
+        let (ys, stats) = run_deque(xs, |i| i + 1, 4, 0);
+        assert_eq!(ys, (1..=200).collect::<Vec<usize>>());
+        assert_eq!(stats.workers(), 4);
+        assert_eq!(stats.items.iter().sum::<usize>(), 200);
+        assert!(stats.total_claims() > 0);
+        assert!(stats.imbalance() >= 1.0);
+        // the public path records the same shape into the global slot
+        let _: Vec<usize> = parallel_map_with((0..200).collect(), &|i: usize| i, 4, 0);
+        let s = take_last_run_stats().expect("stats recorded");
+        assert_eq!(s.items.iter().sum::<usize>(), 200);
+    }
+
+    /// A mid-chunk panic must not deadlock sibling workers: the remaining-
+    /// items accounting is decremented by the unwound chunk's guard, so the
+    /// other workers drain what is reachable and exit, and the panic then
+    /// reaches the caller.
+    #[test]
+    fn panic_mid_chunk_does_not_hang_siblings() {
+        let result = std::panic::catch_unwind(|| {
+            let xs: Vec<usize> = (0..64).collect();
+            let _ = run_deque(
+                xs,
+                |i| {
+                    if i == 3 {
+                        panic!("boom");
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                    i
+                },
+                4,
+                1,
+            );
+        });
+        assert!(result.is_err());
     }
 }
