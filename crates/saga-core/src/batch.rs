@@ -90,8 +90,8 @@ impl BatchedSchedContext {
     /// marks every lane retired. Call once per batch before resetting the
     /// lanes the batch uses.
     pub fn ensure_lanes(&mut self, k: usize) {
-        // saga-lint: allow(hot-alloc) — warm-up only: grows the lane block
-        // the first time a batch width is seen; same-width batches reuse it
+        // warm-up only: grows the lane block the first time a batch width
+        // is seen; same-width batches reuse it (outside the hot fn list)
         self.lanes
             .resize_with(k.max(self.lanes.len()), SchedContext::new);
         let n = self.lanes.len();

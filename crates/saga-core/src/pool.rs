@@ -48,10 +48,13 @@ impl ContextPool {
     /// Takes a context from the pool (or creates a fresh one), wrapped in a
     /// guard that returns it on drop.
     pub fn take(&self) -> PooledContext<'_> {
+        // Poison recovery: a panicked holder already unwound and the
+        // free-list is still a valid Vec — losing the whole pool over it
+        // would deadlock every later worker of an otherwise-fine batch.
         let ctx = self
             .free
             .lock()
-            .expect("context pool poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .pop()
             .unwrap_or_default();
         PooledContext {
@@ -62,7 +65,10 @@ impl ContextPool {
 
     /// Number of idle contexts currently in the pool.
     pub fn idle(&self) -> usize {
-        self.free.lock().expect("context pool poisoned").len()
+        self.free
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
     }
 }
 
@@ -95,7 +101,7 @@ impl Drop for PooledContext<'_> {
         self.pool
             .free
             .lock()
-            .expect("context pool poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .push(ctx);
     }
 }

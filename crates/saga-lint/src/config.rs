@@ -28,8 +28,14 @@ pub struct Config {
     /// forbidden in library code (`error-discipline`).
     pub error_paths: Vec<&'static str>,
     /// Markdown file holding the env-toggle registry table
-    /// (`env-registry`), relative to the workspace root.
+    /// (`env-registry`), relative to the workspace root. The same file
+    /// holds the concurrency tables (`atomics-discipline`,
+    /// `lock-discipline`).
     pub registry_doc: &'static str,
+    /// Identifiers accepted as runtime feature gates for
+    /// `#[target_feature]` call sites (`unsafe-discipline`): a call is
+    /// gated when one of these appears earlier in the enclosing function.
+    pub feature_gates: Vec<&'static str>,
     /// Path fragments never scanned (fixture corpora, build output).
     pub skip: Vec<&'static str>,
 }
@@ -107,6 +113,7 @@ impl Config {
                 "crates/saga-pisa/src/library.rs",
             ],
             registry_doc: "ARCHITECTURE.md",
+            feature_gates: vec!["wide_kernels", "is_x86_feature_detected"],
             skip: vec!["crates/saga-lint/tests/fixtures/", "/target/"],
         }
     }
@@ -137,4 +144,7 @@ pub const RULES: &[&str] = &[
     "hot-alloc",
     "error-discipline",
     "env-registry",
+    "atomics-discipline",
+    "lock-discipline",
+    "unsafe-discipline",
 ];

@@ -38,6 +38,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// Findings silenced by a well-formed, reasoned suppression.
     pub suppressed: usize,
+    /// Wall-clock milliseconds the lint pass took (set by the CLI; the
+    /// JSON artifact carries it so CI can watch the linter's own cost).
+    pub wall_ms: u64,
 }
 
 impl Report {
@@ -57,10 +60,11 @@ impl Report {
             ));
         }
         out.push_str(&format!(
-            "  ],\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"total\": {}\n}}\n",
+            "  ],\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"total\": {},\n  \"wall_ms\": {}\n}}\n",
             self.files_scanned,
             self.suppressed,
-            self.findings.len()
+            self.findings.len(),
+            self.wall_ms
         ));
         out
     }

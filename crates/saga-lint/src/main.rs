@@ -53,13 +53,15 @@ fn main() -> ExitCode {
     };
 
     let cfg = Config::workspace();
-    let report = match saga_lint::lint_root(&root, &cfg) {
+    let started = std::time::Instant::now();
+    let mut report = match saga_lint::lint_root(&root, &cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("saga-lint: IO error while scanning: {e}");
             return ExitCode::from(2);
         }
     };
+    report.wall_ms = started.elapsed().as_millis() as u64;
 
     for f in &report.findings {
         println!("{f}");
@@ -83,10 +85,11 @@ fn main() -> ExitCode {
         eprintln!("saga-lint: report written to {}", path.display());
     }
     eprintln!(
-        "saga-lint: {} files scanned, {} finding(s), {} suppressed",
+        "saga-lint: {} files scanned, {} finding(s), {} suppressed, {} ms",
         report.files_scanned,
         report.findings.len(),
-        report.suppressed
+        report.suppressed,
+        report.wall_ms
     );
     if report.findings.is_empty() {
         ExitCode::SUCCESS

@@ -20,6 +20,7 @@
 //! same line or the line directly above; the reason is mandatory and
 //! malformed suppressions are findings themselves (`suppression-*`).
 
+use crate::concurrency::{self, ConcurrencyScan};
 use crate::config::{Config, RULES};
 use crate::diag::Finding;
 use crate::lexer::TokKind;
@@ -63,8 +64,12 @@ pub struct FileOutcome {
     pub env_reads: Vec<EnvRead>,
     /// Count of findings silenced by valid suppressions.
     pub suppressed: usize,
-    /// The file's suppressions (the env cross-check consults them later).
+    /// The file's suppressions (the cross-checks consult and mark them
+    /// later; unused ones then become findings).
     pub suppressions: Vec<Suppression>,
+    /// Concurrency facts (atomic/lock declarations and uses) for the
+    /// registry cross-checks in `lib.rs`.
+    pub concurrency: ConcurrencyScan,
 }
 
 /// Lints one file. `rel` is the workspace-relative `/`-separated path.
@@ -236,14 +241,24 @@ pub fn lint_file(rel: &str, kind: FileKind, scan: &FileScan, cfg: &Config) -> Fi
         }
     }
 
+    // ---- concurrency families: local findings join the raw list, the
+    // declaration/use facts ride along for the lib.rs cross-checks
+    let mut conc = if matches!(kind, FileKind::Test | FileKind::Bench) {
+        ConcurrencyScan::default()
+    } else {
+        concurrency::scan_file(rel, scan, cfg)
+    };
+    raw.append(&mut conc.findings);
+
     // ---- suppression filtering + meta findings
     let mut out = FileOutcome {
         suppressions: scan.suppressions.clone(),
         env_reads,
+        concurrency: conc,
         ..FileOutcome::default()
     };
     for f in raw {
-        if suppressed_at(&out.suppressions, f.rule, f.line) {
+        if suppressed_at(&mut out.suppressions, f.rule, f.line) {
             out.suppressed += 1;
         } else {
             out.findings.push(f);
@@ -292,14 +307,20 @@ pub fn lint_file(rel: &str, kind: FileKind, scan: &FileScan, cfg: &Config) -> Fi
 }
 
 /// Is a finding of `rule` at `line` silenced by a valid suppression on the
-/// same line (trailing comment) or the line directly above?
-pub fn suppressed_at(sups: &[Suppression], rule: &str, line: u32) -> bool {
-    sups.iter().any(|s| {
-        s.well_formed
+/// same line (trailing comment) or the line directly above? Marks the
+/// matching suppression as used (see `suppression-unused`).
+pub fn suppressed_at(sups: &mut [Suppression], rule: &str, line: u32) -> bool {
+    for s in sups.iter_mut() {
+        if s.well_formed
             && s.has_reason
             && (s.line == line || s.line + 1 == line)
             && s.rules.iter().any(|r| r == rule)
-    })
+        {
+            s.used = true;
+            return true;
+        }
+    }
+    false
 }
 
 /// Scans the balanced argument list opening at significant position `open`

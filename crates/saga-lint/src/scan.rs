@@ -27,6 +27,10 @@ pub struct Suppression {
     pub has_reason: bool,
     /// True when the comment matched the `allow(...)` shape at all.
     pub well_formed: bool,
+    /// Set by the rule layer when the suppression actually silences a
+    /// finding; a valid suppression that silences nothing is itself a
+    /// finding (`suppression-unused`) — dead suppressions hide drift.
+    pub used: bool,
 }
 
 /// A lexed file plus its per-token structural facts.
@@ -195,6 +199,7 @@ fn parse_suppression(t: &Tok) -> Option<Suppression> {
         rules: Vec::new(),
         has_reason: false,
         well_formed: false,
+        used: false,
     };
     let Some(inner) = rest.strip_prefix("allow(") else {
         return Some(malformed);
@@ -223,6 +228,7 @@ fn parse_suppression(t: &Tok) -> Option<Suppression> {
         rules,
         has_reason: !reason.is_empty(),
         well_formed: true,
+        used: false,
     })
 }
 

@@ -1,0 +1,17 @@
+//! Atomics-discipline violations: an atomic with no registry row, a use
+//! of that rogue atomic, and a declared atomic used outside its
+//! registered `op(Ordering)` set. Paired with a mini-registry that also
+//! carries a stale row (`ghost`) for the registry→code direction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Counters {
+    pub declared: AtomicUsize,
+    pub rogue: AtomicUsize,
+}
+
+pub fn touch(c: &Counters) -> usize {
+    c.declared.fetch_add(1, Ordering::Relaxed); // declared set says AcqRel
+    c.rogue.store(3, Ordering::Release); // no row at all
+    c.declared.load(Ordering::Acquire) // allowed
+}

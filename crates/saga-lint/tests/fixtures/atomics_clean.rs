@@ -1,0 +1,13 @@
+//! Atomics-discipline clean twin: one registered atomic, every literal
+//! ordering inside the declared set.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Counters {
+    pub declared: AtomicUsize,
+}
+
+pub fn touch(c: &Counters) -> usize {
+    c.declared.fetch_add(1, Ordering::AcqRel);
+    c.declared.load(Ordering::Acquire)
+}

@@ -1,0 +1,28 @@
+//! Lock-discipline violations: an unregistered mutex, a poison-aborting
+//! `lock().unwrap()`, a rank inversion, and a same-lock re-acquisition.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub low: Mutex<Vec<u32>>,
+    pub high: Mutex<Vec<u32>>,
+    pub rogue: Mutex<u32>,
+}
+
+pub fn inverted(s: &Shared) {
+    let g = s.high.lock().unwrap_or_else(|p| p.into_inner());
+    let h = s.low.lock().unwrap_or_else(|p| p.into_inner());
+    drop(h);
+    drop(g);
+}
+
+pub fn reentrant(s: &Shared) {
+    let g = s.low.lock().unwrap_or_else(|p| p.into_inner());
+    let h = s.low.lock().unwrap_or_else(|p| p.into_inner());
+    drop(h);
+    drop(g);
+}
+
+pub fn impatient(s: &Shared) -> u32 {
+    *s.rogue.lock().unwrap()
+}

@@ -1,0 +1,16 @@
+//! Lock-discipline clean twin: registered mutexes, rank-ascending
+//! nesting, poison-recovery idiom throughout.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub low: Mutex<Vec<u32>>,
+    pub high: Mutex<Vec<u32>>,
+}
+
+pub fn ascending(s: &Shared) {
+    let g = s.low.lock().unwrap_or_else(|p| p.into_inner());
+    let h = s.high.lock().unwrap_or_else(|p| p.into_inner());
+    drop(h);
+    drop(g);
+}

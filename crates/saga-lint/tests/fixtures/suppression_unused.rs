@@ -1,0 +1,7 @@
+//! A well-formed, reasoned suppression for a known rule that silences
+//! nothing: the `suppression-unused` meta-rule must flag it.
+
+// saga-lint: allow(hot-alloc) — scratch buffer kept from an earlier revision
+pub fn tidy() -> u32 {
+    7
+}

@@ -1,0 +1,22 @@
+//! Unsafe-discipline violations: an unjustified unsafe block, an
+//! undocumented public unsafe fn, an unjustified `#[target_feature]`
+//! fn, and a call to it without a runtime feature gate.
+
+pub fn no_comment(xs: &[f64]) -> f64 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+/// Reads the first element without a bounds check.
+pub unsafe fn undocumented(xs: &[f64]) -> f64 {
+    *xs.get_unchecked(0)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn kernel(xs: &[f64]) -> f64 {
+    xs[0]
+}
+
+pub fn ungated(xs: &[f64]) -> f64 {
+    // SAFETY: slice length is checked by the caller contract.
+    unsafe { kernel(xs) }
+}

@@ -1,0 +1,32 @@
+//! Unsafe-discipline clean twin: every unsafe form justified, the
+//! `#[target_feature]` call behind a runtime gate.
+
+pub fn commented(xs: &[f64]) -> f64 {
+    // SAFETY: callers assert the slice is non-empty.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+/// Reads the first element without a bounds check.
+///
+/// # Safety
+///
+/// `xs` must be non-empty.
+pub unsafe fn documented(xs: &[f64]) -> f64 {
+    // SAFETY: non-empty per the contract above.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+// SAFETY: callers hold the avx2 runtime gate before entering.
+#[target_feature(enable = "avx2")]
+unsafe fn kernel(xs: &[f64]) -> f64 {
+    xs[0]
+}
+
+pub fn gated(xs: &[f64]) -> f64 {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 gate was just checked.
+        unsafe { kernel(xs) }
+    } else {
+        xs[0]
+    }
+}

@@ -194,6 +194,26 @@ struct MiniWorkspace {
 
 impl MiniWorkspace {
     fn new(tag: &str, registry_rows: &[&str], lib_src: &str) -> Self {
+        Self::build(tag, registry_rows, None, lib_src)
+    }
+
+    /// Like [`new`](Self::new) but the ARCHITECTURE.md also carries the
+    /// two concurrency tables, with the given data rows.
+    fn with_concurrency(
+        tag: &str,
+        atomic_rows: &[&str],
+        lock_rows: &[&str],
+        lib_src: &str,
+    ) -> Self {
+        Self::build(tag, &[], Some((atomic_rows, lock_rows)), lib_src)
+    }
+
+    fn build(
+        tag: &str,
+        registry_rows: &[&str],
+        concurrency: Option<(&[&str], &[&str])>,
+        lib_src: &str,
+    ) -> Self {
         let root =
             std::env::temp_dir().join(format!("saga_lint_fixture_{}_{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
@@ -205,6 +225,20 @@ impl MiniWorkspace {
         for row in registry_rows {
             doc.push_str(row);
             doc.push('\n');
+        }
+        if let Some((atomic_rows, lock_rows)) = concurrency {
+            doc.push_str("\n#### Atomic protocol registry\n\n");
+            doc.push_str("| Binding | Declared in | Protocol | Allowed ops |\n|---|---|---|---|\n");
+            for row in atomic_rows {
+                doc.push_str(row);
+                doc.push('\n');
+            }
+            doc.push_str("\n#### Lock-order registry\n\n");
+            doc.push_str("| Binding | Declared in | Rank | Protocol |\n|---|---|---|---|\n");
+            for row in lock_rows {
+                doc.push_str(row);
+                doc.push('\n');
+            }
         }
         std::fs::write(root.join("ARCHITECTURE.md"), doc).unwrap();
         MiniWorkspace { root }
@@ -264,6 +298,172 @@ fn env_registry_missing_table_is_one_finding() {
     assert_eq!(report.findings.len(), 1);
     assert_eq!(report.findings[0].rule, "env-registry");
     assert_eq!(report.findings[0].file, "ARCHITECTURE.md");
+}
+
+#[test]
+fn atomics_discipline_catches_undeclared_out_of_protocol_and_stale() {
+    let ws = MiniWorkspace::with_concurrency(
+        "atomics_bad",
+        &[
+            "| `declared` | `src/lib.rs` | test protocol | `fetch_add(AcqRel)`, `load(Acquire)` |",
+            "| `ghost` | `src/lib.rs` | stale row | `load(SeqCst)` |",
+        ],
+        &[],
+        &fixture("atomics_bad.rs"),
+    );
+    let report = saga_lint::lint_root(&ws.root, &Config::workspace()).unwrap();
+    let msgs: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.rule == "atomics-discipline"),
+        "{msgs:?}"
+    );
+    assert_eq!(report.findings.len(), 4, "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("`rogue` is not declared")),
+        "undeclared atomic flags at the declaration: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("fetch_add(Ordering::Relaxed)") && m.contains("outside")),
+        "out-of-protocol ordering flags at the use: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("rogue.store") && m.contains("no")),
+        "use of an unregistered atomic flags: {msgs:?}"
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.file == "ARCHITECTURE.md" && f.message.contains("ghost")),
+        "stale registry row flags at the table: {msgs:?}"
+    );
+}
+
+#[test]
+fn atomics_discipline_clean_twin_is_silent() {
+    let ws = MiniWorkspace::with_concurrency(
+        "atomics_clean",
+        &["| `declared` | `src/lib.rs` | test protocol | `fetch_add(AcqRel)`, `load(Acquire)` |"],
+        &[],
+        &fixture("atomics_clean.rs"),
+    );
+    let report = saga_lint::lint_root(&ws.root, &Config::workspace()).unwrap();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn lock_discipline_catches_undeclared_poison_inversion_and_reentry() {
+    let ws = MiniWorkspace::with_concurrency(
+        "lock_bad",
+        &[],
+        &[
+            "| `low` | `src/lib.rs` | 10 | outer lock |",
+            "| `high` | `src/lib.rs` | 20 | inner lock |",
+        ],
+        &fixture("lock_bad.rs"),
+    );
+    let report = saga_lint::lint_root(&ws.root, &Config::workspace()).unwrap();
+    let msgs: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.findings.iter().all(|f| f.rule == "lock-discipline"),
+        "{msgs:?}"
+    );
+    assert_eq!(report.findings.len(), 4, "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("`rogue` is not declared")),
+        "unregistered mutex flags at the declaration: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("lock-order inversion")),
+        "descending-rank nesting flags: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("self-deadlock")),
+        "same-lock re-acquisition flags: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("aborts on poison")),
+        "`lock().unwrap()` flags: {msgs:?}"
+    );
+}
+
+#[test]
+fn lock_discipline_clean_twin_is_silent() {
+    let ws = MiniWorkspace::with_concurrency(
+        "lock_clean",
+        &[],
+        &[
+            "| `low` | `src/lib.rs` | 10 | outer lock |",
+            "| `high` | `src/lib.rs` | 20 | inner lock |",
+        ],
+        &fixture("lock_clean.rs"),
+    );
+    let report = saga_lint::lint_root(&ws.root, &Config::workspace()).unwrap();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn unsafe_discipline_flags_every_unjustified_form() {
+    let out = lint_as(
+        "unsafe_bad.rs",
+        "crates/saga-datasets/src/simd.rs",
+        FileKind::Lib,
+    );
+    let rules = rules_of(&out);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "unsafe-discipline").count(),
+        4,
+        "block without SAFETY, undocumented unsafe fn, unjustified \
+         target_feature fn, ungated call: {:?}",
+        out.findings
+    );
+    assert_eq!(out.findings.len(), 4, "{:?}", out.findings);
+    let messages: Vec<&str> = out.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("without a runtime feature gate")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("without a SAFETY justification")),
+        "{messages:?}"
+    );
+}
+
+#[test]
+fn unsafe_discipline_clean_twin_is_silent() {
+    let out = lint_as(
+        "unsafe_clean.rs",
+        "crates/saga-datasets/src/simd.rs",
+        FileKind::Lib,
+    );
+    assert!(
+        out.findings.is_empty(),
+        "SAFETY comments, `# Safety` docs and the runtime gate must \
+         satisfy the rule: {:?}",
+        out.findings
+    );
+}
+
+#[test]
+fn unused_reasoned_suppression_is_flagged() {
+    let ws = MiniWorkspace::new("sup_unused", &[], &fixture("suppression_unused.rs"));
+    let report = saga_lint::lint_root(&ws.root, &Config::workspace()).unwrap();
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["suppression-unused"], "{:?}", report.findings);
+    assert!(
+        report.findings[0].message.contains("hot-alloc"),
+        "{:?}",
+        report.findings
+    );
 }
 
 #[test]

@@ -1,0 +1,1320 @@
+//! A vendored miniature loom: deterministic, exhaustive exploration of
+//! thread interleavings for model-checking small concurrent protocols.
+//!
+//! This is an offline stand-in for the `loom` crate, built for one job:
+//! proving the vendored rayon work-stealing deque protocol correct (and
+//! catching deliberate mutations of it) on a container whose real hardware
+//! never produces interesting interleavings. It is not a general
+//! weak-memory simulator — see "Model" below for the exact semantics.
+//!
+//! # Usage
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Mutex;
+//!
+//! loom::model(|| {
+//!     let n = AtomicUsize::new(0);
+//!     let total = Mutex::new(0usize);
+//!     loom::thread::scope(|s| {
+//!         s.spawn(|| {
+//!             n.fetch_add(1, Ordering::Release);
+//!             *total.lock() += 1;
+//!         });
+//!         s.spawn(|| {
+//!             n.load(Ordering::Acquire);
+//!             *total.lock() += 1;
+//!         });
+//!     });
+//!     assert_eq!(*total.lock(), 2);
+//! });
+//! ```
+//!
+//! The closure is executed once per distinct schedule. Every execution is
+//! sequential under the hood: model threads are real OS threads, but a
+//! central scheduler grants exactly one of them permission to run at a
+//! time, and a thread must ask for permission at every *operation* (atomic
+//! access, mutex lock/unlock, [`cell::RaceArray`] access, yield, join).
+//! Between two operations a thread only touches its own locals, so
+//! serializing the operations serializes the execution.
+//!
+//! # Exploration
+//!
+//! Schedules are enumerated by a depth-first search over scheduling
+//! decisions with **bounded preemption**: switching away from a thread
+//! that is still enabled (and did not just call
+//! [`thread::yield_now`]) consumes one preemption token, and executions
+//! are explored only up to [`Builder::max_preemptions`] tokens. Most
+//! protocol bugs — including every bug class the rayon deque model
+//! targets — manifest within two or three preemptions. The search is
+//! fully deterministic: same model, same builder, same executions in the
+//! same order, no randomness and no dependence on wall-clock or OS
+//! scheduling.
+//!
+//! # Model
+//!
+//! Loads observe the *latest* store to a location (sequentially consistent
+//! value semantics), and memory-ordering arguments feed a C11-style
+//! vector-clock synchronizes-with relation instead of producing stale
+//! values:
+//!
+//! - `store(Release)` publishes the writer's clock on the location;
+//!   `store(Relaxed)` *clears* it (a relaxed store starts no release
+//!   sequence).
+//! - Read-modify-writes with a release component *join* their clock into
+//!   the location (continuing the release sequence); relaxed RMWs leave
+//!   the location clock untouched (they continue an existing sequence).
+//! - `load(Acquire)` and acquiring RMWs join the location clock into the
+//!   reader's clock.
+//! - `SeqCst` is treated as `AcqRel`; the model does not check for
+//!   missing total-order requirements beyond acquire/release.
+//!
+//! Plain (non-atomic) shared memory goes through [`cell::RaceArray`],
+//! which checks every access against the happens-before relation derived
+//! from those clocks and reports a **data race** — unordered accesses are
+//! a violation even when every interleaved outcome happens to look
+//! benign. This is what makes ordering bugs detectable under
+//! sequentially-consistent value semantics: a missing `Release` shows up
+//! as a missing happens-before edge, not as a stale value.
+//!
+//! # Violations
+//!
+//! A data race, a panic in model code (failed assertion), a deadlock, an
+//! exceeded operation budget (livelock / lost-work detector) or an
+//! exceeded execution budget all abort the exploration and are reported
+//! with the offending schedule. [`model`] panics on violation;
+//! [`Builder::explore`] returns it as a value so tests can assert that a
+//! deliberately seeded bug *is* caught.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar};
+
+/// Maximum number of model threads per execution (root + spawned).
+pub const MAX_THREADS: usize = 8;
+
+type VClock = [u32; MAX_THREADS];
+
+const ZERO_CLOCK: VClock = [0; MAX_THREADS];
+
+fn vjoin(into: &mut VClock, from: &VClock) {
+    for (a, b) in into.iter_mut().zip(from.iter()) {
+        if *b > *a {
+            *a = *b;
+        }
+    }
+}
+
+/// Does the event recorded as `(tid, snapshot)` happen-before the thread
+/// whose current clock is `now`?
+fn happens_before(snapshot: &VClock, tid: usize, now: &VClock) -> bool {
+    snapshot[tid] <= now[tid]
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Running,
+    Parked,
+    Finished,
+}
+
+#[derive(Clone, Debug)]
+enum Pending {
+    /// Always enabled: atomic / race-cell / yield / unlock operations.
+    Free,
+    /// Enabled when the mutex is not held.
+    Lock(usize),
+    /// Enabled when every listed thread has finished.
+    Join(Vec<usize>),
+}
+
+struct Thd {
+    status: Status,
+    pending: Option<Pending>,
+    clock: VClock,
+    yielded: bool,
+}
+
+struct AtomicState {
+    value: usize,
+    /// Release clock currently published on this location.
+    sync: VClock,
+}
+
+struct MutexState {
+    held_by: Option<usize>,
+    sync: VClock,
+}
+
+#[derive(Clone)]
+struct RaceSlot {
+    /// Last write: writer tid + writer clock snapshot at the write.
+    write: Option<(usize, VClock)>,
+    /// Per-thread clock component at each thread's last read since the
+    /// last write.
+    reads: VClock,
+}
+
+struct RaceArrayState {
+    slots: Vec<RaceSlot>,
+}
+
+struct State {
+    threads: Vec<Thd>,
+    granted: Option<usize>,
+    aborting: bool,
+    violation: Option<String>,
+    ops: usize,
+    schedule: Vec<usize>,
+    atomics: Vec<AtomicState>,
+    mutexes: Vec<MutexState>,
+    races: Vec<RaceArrayState>,
+}
+
+struct Runtime {
+    // spelled out (not aliased) so saga-lint's lock-discipline pass sees
+    // the declaration and keys it to the lock-order registry
+    state: std::sync::Mutex<State>,
+    cv: Condvar,
+}
+
+/// Panic payload used to unwind model threads when an execution aborts.
+struct AbortSentinel;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Runtime>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> (Arc<Runtime>, usize) {
+    CURRENT.with(|c| c.borrow().clone()).expect(
+        "loom primitive used outside loom::model — construct and use loom \
+         atomics/mutexes/threads only inside the model closure",
+    )
+}
+
+impl Runtime {
+    fn new() -> Self {
+        Runtime {
+            state: std::sync::Mutex::new(State {
+                threads: Vec::new(),
+                granted: None,
+                aborting: false,
+                violation: None,
+                ops: 0,
+                schedule: Vec::new(),
+                atomics: Vec::new(),
+                mutexes: Vec::new(),
+                races: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Abort the execution from a model thread: record the violation (first
+    /// one wins), wake everyone, and unwind this thread with the sentinel.
+    fn abort(&self, st: std::sync::MutexGuard<'_, State>, msg: String) -> ! {
+        let mut st = st;
+        if st.violation.is_none() {
+            st.violation = Some(msg);
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+        drop(st);
+        panic::resume_unwind(Box::new(AbortSentinel));
+    }
+
+    /// Execute one model operation: park at the scheduler, wait for the
+    /// grant, then apply `effect` atomically on the shared state. The
+    /// effect returns the operation's result plus an optional violation
+    /// (e.g. a detected data race).
+    ///
+    /// When called during unwinding (guard drops on a panicking thread)
+    /// the effect is applied immediately without scheduling, so RAII
+    /// cleanup can never deadlock the controller or start a double panic.
+    fn op<R>(
+        self: &Arc<Self>,
+        me: usize,
+        pending: Pending,
+        effect: impl FnOnce(&mut State, usize) -> (R, Option<String>),
+    ) -> R {
+        if std::thread::panicking() {
+            let mut st = self.lock_state();
+            let (r, _err) = effect(&mut st, me);
+            return r;
+        }
+        let mut st = self.lock_state();
+        if st.aborting {
+            drop(st);
+            panic::resume_unwind(Box::new(AbortSentinel));
+        }
+        st.threads[me].pending = Some(pending);
+        st.threads[me].status = Status::Parked;
+        if st.granted == Some(me) {
+            st.granted = None;
+        }
+        self.cv.notify_all();
+        loop {
+            if st.aborting {
+                drop(st);
+                panic::resume_unwind(Box::new(AbortSentinel));
+            }
+            if st.granted == Some(me) {
+                break;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        // Granted: the controller has already marked us Running, cleared
+        // our pending op and charged the op budget. Tick our clock and
+        // apply the effect while still holding the state lock.
+        st.threads[me].clock[me] += 1;
+        let (r, err) = effect(&mut st, me);
+        if let Some(msg) = err {
+            self.abort(st, msg);
+        }
+        drop(st);
+        r
+    }
+
+    /// Register a child thread spawned by `parent`; the child inherits the
+    /// parent's clock (spawn happens-before everything the child does).
+    fn register_thread(self: &Arc<Self>, parent: usize) -> usize {
+        let mut st = self.lock_state();
+        let tid = st.threads.len();
+        if tid >= MAX_THREADS {
+            self.abort(st, format!("model spawned more than {MAX_THREADS} threads"));
+        }
+        st.threads[parent].clock[parent] += 1;
+        let clock = st.threads[parent].clock;
+        st.threads.push(Thd {
+            status: Status::Running,
+            pending: None,
+            clock,
+            yielded: false,
+        });
+        tid
+    }
+
+    fn register_atomic(self: &Arc<Self>, me: usize, value: usize) -> usize {
+        let mut st = self.lock_state();
+        let sync = st.threads[me].clock;
+        st.atomics.push(AtomicState { value, sync });
+        st.atomics.len() - 1
+    }
+
+    fn register_mutex(self: &Arc<Self>, me: usize) -> usize {
+        let mut st = self.lock_state();
+        let sync = st.threads[me].clock;
+        st.mutexes.push(MutexState {
+            held_by: None,
+            sync,
+        });
+        st.mutexes.len() - 1
+    }
+
+    fn register_race_array(self: &Arc<Self>, len: usize) -> usize {
+        let mut st = self.lock_state();
+        st.races.push(RaceArrayState {
+            slots: vec![
+                RaceSlot {
+                    write: None,
+                    reads: ZERO_CLOCK,
+                };
+                len
+            ],
+        });
+        st.races.len() - 1
+    }
+}
+
+/// Body run on every model OS thread: install the runtime handle, run the
+/// user closure under `catch_unwind`, and report the outcome.
+fn run_thread(rt: Arc<Runtime>, tid: usize, f: impl FnOnce()) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((rt.clone(), tid)));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    let mut st = rt.lock_state();
+    st.threads[tid].status = Status::Finished;
+    st.threads[tid].pending = None;
+    if st.granted == Some(tid) {
+        st.granted = None;
+    }
+    if let Err(payload) = result {
+        if !payload.is::<AbortSentinel>() {
+            // `&*payload`, not `&payload`: a `&Box<dyn Any>` would unsize
+            // into an Any holding the *box*, and every downcast would miss.
+            let msg = payload_message(&*payload);
+            if st.violation.is_none() {
+                st.violation = Some(format!("model thread {tid} panicked: {msg}"));
+            }
+            st.aborting = true;
+        }
+    }
+    rt.cv.notify_all();
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public shims
+// ---------------------------------------------------------------------------
+
+/// Synchronization primitive shims mirroring `std::sync`.
+pub mod sync {
+    use super::{current, happens_before, vjoin, Pending};
+
+    /// Atomic type shims mirroring `std::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        use super::super::{current, vjoin, Pending, ZERO_CLOCK};
+
+        fn acquires(ord: Ordering) -> bool {
+            matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+        }
+
+        fn releases(ord: Ordering) -> bool {
+            matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+        }
+
+        /// Model `AtomicUsize`: sequentially-consistent values plus
+        /// vector-clock tracking of the synchronizes-with edges implied by
+        /// each operation's `Ordering` (see the crate docs for the exact
+        /// semantics).
+        pub struct AtomicUsize {
+            id: usize,
+        }
+
+        impl AtomicUsize {
+            /// Create a new model atomic with the given initial value.
+            /// Must be called on a model thread.
+            pub fn new(value: usize) -> Self {
+                let (rt, me) = current();
+                let id = rt.register_atomic(me, value);
+                AtomicUsize { id }
+            }
+
+            /// Atomic load; an acquiring ordering joins the location's
+            /// release clock into this thread's clock.
+            pub fn load(&self, ord: Ordering) -> usize {
+                let (rt, me) = current();
+                let id = self.id;
+                rt.op(me, Pending::Free, move |st, me| {
+                    let sync = st.atomics[id].sync;
+                    if acquires(ord) {
+                        vjoin(&mut st.threads[me].clock, &sync);
+                    }
+                    (st.atomics[id].value, None)
+                })
+            }
+
+            /// Atomic store; a releasing ordering publishes this thread's
+            /// clock on the location, a relaxed store clears it.
+            pub fn store(&self, value: usize, ord: Ordering) {
+                let (rt, me) = current();
+                let id = self.id;
+                rt.op(me, Pending::Free, move |st, me| {
+                    let clock = st.threads[me].clock;
+                    let loc = &mut st.atomics[id];
+                    loc.sync = if releases(ord) { clock } else { ZERO_CLOCK };
+                    loc.value = value;
+                    ((), None)
+                })
+            }
+
+            /// Atomic fetch-add (wrapping); returns the previous value.
+            pub fn fetch_add(&self, n: usize, ord: Ordering) -> usize {
+                self.rmw(ord, move |v| v.wrapping_add(n))
+            }
+
+            /// Atomic fetch-sub (wrapping); returns the previous value.
+            pub fn fetch_sub(&self, n: usize, ord: Ordering) -> usize {
+                self.rmw(ord, move |v| v.wrapping_sub(n))
+            }
+
+            fn rmw(&self, ord: Ordering, f: impl FnOnce(usize) -> usize) -> usize {
+                let (rt, me) = current();
+                let id = self.id;
+                rt.op(me, Pending::Free, move |st, me| {
+                    let sync = st.atomics[id].sync;
+                    if acquires(ord) {
+                        vjoin(&mut st.threads[me].clock, &sync);
+                    }
+                    let clock = st.threads[me].clock;
+                    let loc = &mut st.atomics[id];
+                    if releases(ord) {
+                        // Join (not replace): an RMW continues the release
+                        // sequence of the store it read from.
+                        vjoin(&mut loc.sync, &clock);
+                    }
+                    let old = loc.value;
+                    loc.value = f(old);
+                    (old, None)
+                })
+            }
+        }
+    }
+
+    /// Model mutex: a scheduler-level lock gate (so the explorer sees and
+    /// reorders acquisition) guarding a real `std::sync::Mutex` payload
+    /// that is uncontended by construction.
+    pub struct Mutex<T> {
+        id: usize,
+        data: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Create a new model mutex. Must be called on a model thread.
+        pub fn new(value: T) -> Self {
+            let (rt, me) = current();
+            let id = rt.register_mutex(me);
+            Mutex {
+                id,
+                data: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// Acquire the mutex, blocking (in model time) until it is free.
+        /// Acquisition joins the clock released by the previous holder.
+        ///
+        /// Unlike `std`, this returns the guard directly: the payload
+        /// mutex cannot be poisoned mid-model (a panicking execution
+        /// aborts exploration), so there is no error case to surface.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            let (rt, me) = current();
+            let id = self.id;
+            rt.op(me, Pending::Lock(id), move |st, me| {
+                let sync = st.mutexes[id].sync;
+                vjoin(&mut st.threads[me].clock, &sync);
+                st.mutexes[id].held_by = Some(me);
+                ((), None)
+            });
+            MutexGuard {
+                lock: self,
+                inner: Some(
+                    self.data
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner()),
+                ),
+            }
+        }
+    }
+
+    /// RAII guard for [`Mutex`]; releasing it is a model operation.
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard payload present")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard payload present")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Release the payload first so the next model-granted holder
+            // finds the inner mutex free, then release the model gate.
+            drop(self.inner.take());
+            let (rt, me) = current();
+            let id = self.lock.id;
+            rt.op(me, Pending::Free, move |st, me| {
+                let clock = st.threads[me].clock;
+                let m = &mut st.mutexes[id];
+                m.held_by = None;
+                vjoin(&mut m.sync, &clock);
+                ((), None)
+            });
+        }
+    }
+
+    /// Re-check helper used by [`super::cell::RaceArray`]: formats a race
+    /// report for an access that is not ordered after a prior access.
+    pub(crate) fn check_read_race(
+        slot: &super::RaceSlot,
+        now: &super::VClock,
+        what: &str,
+        index: usize,
+    ) -> Option<String> {
+        if let Some((wt, wc)) = &slot.write {
+            if !happens_before(wc, *wt, now) {
+                return Some(format!(
+                    "data race: {what} of RaceArray slot {index} is not ordered \
+                     after the last write by thread {wt} (missing release/acquire \
+                     synchronization)"
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// Plain-memory cells with happens-before race detection.
+pub mod cell {
+    use super::{current, happens_before, Pending, ZERO_CLOCK};
+
+    /// A fixed-length array of plain (non-atomic) shared memory slots.
+    ///
+    /// Every access is checked against the vector-clock happens-before
+    /// relation: a read must be ordered after the last write, and a write
+    /// must be ordered after the last write *and* every read since it.
+    /// An unordered pair is reported as a data race — the model-level
+    /// equivalent of ThreadSanitizer, and the mechanism that catches
+    /// missing `Release`/`Acquire` orderings even though values are
+    /// sequentially consistent.
+    pub struct RaceArray<T: Copy> {
+        id: usize,
+        len: usize,
+        data: std::sync::Mutex<Vec<T>>,
+    }
+
+    impl<T: Copy> RaceArray<T> {
+        /// Create an array of `len` slots all holding `init`. Must be
+        /// called on a model thread. The initial value is readable by
+        /// every thread without synchronization (initialization
+        /// happens-before the spawns that share the array).
+        pub fn new(len: usize, init: T) -> Self {
+            let (rt, _me) = current();
+            let id = rt.register_race_array(len);
+            RaceArray {
+                id,
+                len,
+                data: std::sync::Mutex::new(vec![init; len]),
+            }
+        }
+
+        /// Number of slots.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// True when the array has no slots.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        fn payload(&self) -> std::sync::MutexGuard<'_, Vec<T>> {
+            self.data
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+        }
+
+        /// Read slot `index` (one model operation).
+        pub fn read(&self, index: usize) -> T {
+            let (rt, me) = current();
+            let id = self.id;
+            rt.op(me, Pending::Free, move |st, me| {
+                let now = st.threads[me].clock;
+                let slot = &mut st.races[id].slots[index];
+                let err = super::sync::check_read_race(slot, &now, "read", index);
+                slot.reads[me] = now[me];
+                ((), err)
+            });
+            self.payload()[index]
+        }
+
+        /// Write `value` to slot `index` (one model operation).
+        pub fn write(&self, index: usize, value: T) {
+            let (rt, me) = current();
+            let id = self.id;
+            rt.op(me, Pending::Free, move |st, me| {
+                let now = st.threads[me].clock;
+                let slot = &mut st.races[id].slots[index];
+                ((), Self::write_check(slot, &now, me, index))
+            });
+            self.payload()[index] = value;
+        }
+
+        /// Read-modify-write slot `index` as a single model operation;
+        /// returns the previous value.
+        pub fn update(&self, index: usize, f: impl FnOnce(T) -> T) -> T {
+            let (rt, me) = current();
+            let id = self.id;
+            rt.op(me, Pending::Free, move |st, me| {
+                let now = st.threads[me].clock;
+                let slot = &mut st.races[id].slots[index];
+                ((), Self::write_check(slot, &now, me, index))
+            });
+            let mut data = self.payload();
+            let old = data[index];
+            data[index] = f(old);
+            old
+        }
+
+        /// Read every slot as a single model operation (each slot is
+        /// race-checked and marked read).
+        pub fn read_all(&self) -> Vec<T> {
+            let (rt, me) = current();
+            let id = self.id;
+            let len = self.len;
+            rt.op(me, Pending::Free, move |st, me| {
+                let now = st.threads[me].clock;
+                let mut err = None;
+                for index in 0..len {
+                    let slot = &mut st.races[id].slots[index];
+                    if err.is_none() {
+                        err = super::sync::check_read_race(slot, &now, "read", index);
+                    }
+                    slot.reads[me] = now[me];
+                }
+                ((), err)
+            });
+            self.payload().clone()
+        }
+
+        fn write_check(
+            slot: &mut super::RaceSlot,
+            now: &super::VClock,
+            me: usize,
+            index: usize,
+        ) -> Option<String> {
+            if let Some((wt, wc)) = &slot.write {
+                if !happens_before(wc, *wt, now) {
+                    return Some(format!(
+                        "data race: write of RaceArray slot {index} is not ordered \
+                         after the last write by thread {wt} (missing \
+                         release/acquire synchronization)"
+                    ));
+                }
+            }
+            for (t, &read_at) in slot.reads.iter().enumerate() {
+                if read_at > now[t] {
+                    return Some(format!(
+                        "data race: write of RaceArray slot {index} is not ordered \
+                         after a read by thread {t} (missing release/acquire \
+                         synchronization)"
+                    ));
+                }
+            }
+            slot.write = Some((me, *now));
+            slot.reads = ZERO_CLOCK;
+            None
+        }
+    }
+}
+
+/// Thread shims mirroring `std::thread`.
+pub mod thread {
+    use std::cell::RefCell;
+
+    use super::{current, run_thread, vjoin, Pending};
+
+    /// Scoped-thread handle mirroring `std::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        spawned: RefCell<Vec<usize>>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a model thread inside the scope. Spawning itself is not a
+        /// scheduling point; the child parks at its first operation. The
+        /// child inherits the parent's clock (spawn happens-before the
+        /// child body).
+        pub fn spawn<F>(&self, f: F)
+        where
+            F: FnOnce() + Send + 'scope,
+        {
+            let (rt, me) = current();
+            let tid = rt.register_thread(me);
+            self.spawned.borrow_mut().push(tid);
+            let rt2 = rt.clone();
+            self.inner.spawn(move || run_thread(rt2, tid, f));
+        }
+    }
+
+    /// Scoped threads mirroring `std::thread::scope`: every spawned model
+    /// thread is joined (as a model operation, so the scheduler can run
+    /// the children to completion) before `scope` returns. Joining
+    /// establishes happens-before from each child's last operation to the
+    /// code after the scope.
+    pub fn scope<'env, F>(f: F)
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>),
+    {
+        let (rt, me) = current();
+        std::thread::scope(|s| {
+            let sc = Scope {
+                inner: s,
+                spawned: RefCell::new(Vec::new()),
+            };
+            f(&sc);
+            let ids = sc.spawned.borrow().clone();
+            if !ids.is_empty() {
+                let join_ids = ids.clone();
+                rt.op(me, Pending::Join(ids), move |st, me| {
+                    for &child in &join_ids {
+                        let child_clock = st.threads[child].clock;
+                        vjoin(&mut st.threads[me].clock, &child_clock);
+                    }
+                    ((), None)
+                });
+            }
+            // The model-level join above only completes once every child
+            // has finished its body, so the implicit std join at the end
+            // of this closure cannot block the scheduler.
+        });
+    }
+
+    /// Voluntary yield: the scheduler will not re-grant this thread at the
+    /// very next decision if any other thread is enabled, and switching
+    /// away from it costs no preemption token. Use in spin loops.
+    pub fn yield_now() {
+        let (rt, me) = current();
+        rt.op(me, Pending::Free, |st, me| {
+            st.threads[me].yielded = true;
+            ((), None)
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------------
+
+/// Statistics from a completed (violation-free) exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub executions: usize,
+    /// Total scheduling decisions (granted operations) across every
+    /// execution.
+    pub total_ops: usize,
+}
+
+/// A property violation found during exploration.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Human-readable description (race report, panic message, deadlock,
+    /// budget exhaustion).
+    pub message: String,
+    /// The schedule (sequence of granted thread ids) of the failing
+    /// execution, when one exists.
+    pub schedule: Vec<usize>,
+    /// 1-based index of the failing execution in exploration order.
+    pub execution: usize,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // A budget-exhausted (livelock) schedule is thousands of entries of
+        // repeating spin; the prefix is what identifies the execution.
+        const SHOWN: usize = 64;
+        if self.schedule.len() <= SHOWN {
+            write!(
+                f,
+                "{} (execution {}, schedule {:?})",
+                self.message, self.execution, self.schedule
+            )
+        } else {
+            write!(
+                f,
+                "{} (execution {}, schedule {:?}.. and {} more)",
+                self.message,
+                self.execution,
+                &self.schedule[..SHOWN],
+                self.schedule.len() - SHOWN
+            )
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Decision {
+    num_options: usize,
+    chosen: usize,
+}
+
+enum ExecOutcome {
+    Complete {
+        decisions: Vec<Decision>,
+        ops: usize,
+    },
+    Violation {
+        message: String,
+        schedule: Vec<usize>,
+    },
+}
+
+/// Exploration configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    /// Preemption budget per execution (see crate docs). Default 2.
+    pub max_preemptions: usize,
+    /// Operation budget per execution; exceeding it is reported as a
+    /// livelock / lost-work violation. Default 10 000.
+    pub max_ops: usize,
+    /// Execution budget for the whole exploration; exceeding it is a
+    /// violation (the state space must stay enumerable). Default 200 000.
+    pub max_executions: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_preemptions: 2,
+            max_ops: 10_000,
+            max_executions: 200_000,
+        }
+    }
+}
+
+impl Builder {
+    /// New builder with default budgets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the per-execution preemption budget.
+    pub fn max_preemptions(mut self, n: usize) -> Self {
+        self.max_preemptions = n;
+        self
+    }
+
+    /// Set the per-execution operation budget.
+    pub fn max_ops(mut self, n: usize) -> Self {
+        self.max_ops = n;
+        self
+    }
+
+    /// Set the whole-exploration execution budget.
+    pub fn max_executions(mut self, n: usize) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    /// Explore every schedule of `f` within the preemption bound; panic
+    /// with a diagnostic on the first violation.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.explore(f) {
+            Ok(report) => report,
+            Err(v) => panic!("loom model violation: {v}"),
+        }
+    }
+
+    /// Explore every schedule of `f` within the preemption bound,
+    /// returning the first violation as a value (for tests that assert a
+    /// seeded bug *is* caught) or exploration statistics when every
+    /// schedule passes.
+    pub fn explore<F>(&self, f: F) -> Result<Report, Violation>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut executions = 0usize;
+        let mut total_ops = 0usize;
+        loop {
+            executions += 1;
+            if executions > self.max_executions {
+                return Err(Violation {
+                    message: format!(
+                        "state space exceeded max_executions ({}) — shrink the \
+                         model or raise the budget",
+                        self.max_executions
+                    ),
+                    schedule: Vec::new(),
+                    execution: executions,
+                });
+            }
+            match self.run_one(&f, &prefix) {
+                ExecOutcome::Violation { message, schedule } => {
+                    return Err(Violation {
+                        message,
+                        schedule,
+                        execution: executions,
+                    });
+                }
+                ExecOutcome::Complete { decisions, ops } => {
+                    total_ops += ops;
+                    match next_prefix(&decisions) {
+                        Some(p) => prefix = p,
+                        None => {
+                            return Ok(Report {
+                                executions,
+                                total_ops,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run a single execution, replaying `prefix` at branch points and
+    /// taking the first option thereafter.
+    fn run_one(&self, f: &Arc<dyn Fn() + Send + Sync>, prefix: &[usize]) -> ExecOutcome {
+        let rt = Arc::new(Runtime::new());
+        {
+            let mut st = rt.lock_state();
+            st.threads.push(Thd {
+                status: Status::Running,
+                pending: None,
+                clock: ZERO_CLOCK,
+                yielded: false,
+            });
+        }
+        let rt_root = rt.clone();
+        let f_root = f.clone();
+        let root = std::thread::spawn(move || run_thread(rt_root, 0, move || f_root()));
+
+        let mut decisions: Vec<Decision> = Vec::new();
+        let mut branch_idx = 0usize;
+        let mut last: Option<usize> = None;
+        let mut preemptions = 0usize;
+
+        let outcome = loop {
+            let mut st = rt.lock_state();
+            // Wait for the world to quiesce: nobody Running (or abort).
+            loop {
+                if st.aborting {
+                    break;
+                }
+                if st.threads.iter().all(|t| t.status != Status::Running) {
+                    break;
+                }
+                st = rt
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            if st.aborting {
+                // Drain: wake everyone until all threads have unwound.
+                while !st.threads.iter().all(|t| t.status == Status::Finished) {
+                    rt.cv.notify_all();
+                    st = rt
+                        .cv
+                        .wait(st)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                break ExecOutcome::Violation {
+                    message: st
+                        .violation
+                        .clone()
+                        .unwrap_or_else(|| "aborted without violation".to_string()),
+                    schedule: st.schedule.clone(),
+                };
+            }
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                break ExecOutcome::Complete {
+                    decisions: decisions.clone(),
+                    ops: st.ops,
+                };
+            }
+
+            // Enabled = parked threads whose pending op can proceed.
+            let enabled: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Parked)
+                .filter(
+                    |(_, t)| match t.pending.as_ref().expect("parked implies pending") {
+                        Pending::Free => true,
+                        Pending::Lock(m) => st.mutexes[*m].held_by.is_none(),
+                        Pending::Join(ids) => ids
+                            .iter()
+                            .all(|&c| st.threads[c].status == Status::Finished),
+                    },
+                )
+                .map(|(tid, _)| tid)
+                .collect();
+
+            if enabled.is_empty() {
+                let blocked: Vec<usize> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status == Status::Parked)
+                    .map(|(tid, _)| tid)
+                    .collect();
+                st.violation = Some(format!(
+                    "deadlock: threads {blocked:?} are blocked and no thread can run"
+                ));
+                st.aborting = true;
+                rt.cv.notify_all();
+                continue;
+            }
+            if st.ops >= self.max_ops {
+                st.violation = Some(format!(
+                    "operation budget exceeded ({} ops) — livelock or lost \
+                     work (a loop is waiting for something that never happens)",
+                    self.max_ops
+                ));
+                st.aborting = true;
+                rt.cv.notify_all();
+                continue;
+            }
+
+            // Options under the preemption discipline, preferring to keep
+            // running the last thread (DFS explores few-preemption
+            // schedules first).
+            let last_enabled_live = last
+                .filter(|l| enabled.contains(l))
+                .map(|l| (l, st.threads[l].yielded));
+            let mut options: Vec<usize> = Vec::new();
+            match last_enabled_live {
+                Some((l, yielded)) => {
+                    if yielded && enabled.len() > 1 {
+                        // A yielded thread is not re-granted while someone
+                        // else can run, and the handoff is deterministic
+                        // round-robin — NOT a branch point. A spin loop
+                        // yields every iteration; branching over successors
+                        // there multiplies the tree by (threads-1) per spin
+                        // turn and makes any model with a termination spin
+                        // intractable. Rotation keeps yields fair (every
+                        // peer runs, so spins terminate) while the real
+                        // reorderings stay covered by the preemption
+                        // branches at atomic/lock operations.
+                        let next = enabled
+                            .iter()
+                            .copied()
+                            .find(|&t| t > l)
+                            .unwrap_or(enabled[0]);
+                        options.push(next);
+                    } else if !yielded && preemptions >= self.max_preemptions {
+                        options.push(l);
+                    } else {
+                        options.push(l);
+                        options.extend(enabled.iter().copied().filter(|&t| t != l));
+                    }
+                }
+                None => options.extend(enabled.iter().copied()),
+            }
+
+            let chosen = if options.len() == 1 {
+                options[0]
+            } else {
+                let idx = if branch_idx < prefix.len() {
+                    prefix[branch_idx]
+                } else {
+                    0
+                };
+                decisions.push(Decision {
+                    num_options: options.len(),
+                    chosen: idx,
+                });
+                branch_idx += 1;
+                options[idx]
+            };
+            if let Some((l, yielded)) = last_enabled_live {
+                if chosen != l && !yielded {
+                    preemptions += 1;
+                }
+            }
+            for t in st.threads.iter_mut() {
+                t.yielded = false;
+            }
+            st.granted = Some(chosen);
+            st.threads[chosen].status = Status::Running;
+            st.threads[chosen].pending = None;
+            st.ops += 1;
+            st.schedule.push(chosen);
+            last = Some(chosen);
+            rt.cv.notify_all();
+            drop(st);
+        };
+
+        let _ = root.join();
+        outcome
+    }
+}
+
+/// Increment the last scheduling decision that still has unexplored
+/// options; `None` when the whole bounded state space is exhausted.
+fn next_prefix(decisions: &[Decision]) -> Option<Vec<usize>> {
+    let mut d = decisions.to_vec();
+    while let Some(last) = d.last_mut() {
+        if last.chosen + 1 < last.num_options {
+            last.chosen += 1;
+            return Some(d.iter().map(|x| x.chosen).collect());
+        }
+        d.pop();
+    }
+    None
+}
+
+/// Explore every schedule of `f` with the default [`Builder`]; panic with
+/// a diagnostic on the first violation.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::cell::RaceArray;
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Mutex;
+    use super::{Builder, MAX_THREADS};
+
+    #[test]
+    fn single_thread_runs_once() {
+        let report = Builder::new().check(|| {
+            let a = AtomicUsize::new(1);
+            assert_eq!(a.load(Ordering::Relaxed), 1);
+            a.store(2, Ordering::Relaxed);
+            assert_eq!(a.fetch_add(3, Ordering::Relaxed), 2);
+            assert_eq!(a.load(Ordering::Relaxed), 5);
+        });
+        assert_eq!(report.executions, 1);
+    }
+
+    #[test]
+    fn mutex_counter_two_threads() {
+        let report = Builder::new().check(|| {
+            let m = std::sync::Arc::new(Mutex::new(0usize));
+            crate::thread::scope(|s| {
+                let m1 = m.clone();
+                s.spawn(move || {
+                    *m1.lock() += 1;
+                });
+                let m2 = m.clone();
+                s.spawn(move || {
+                    *m2.lock() += 1;
+                });
+            });
+            assert_eq!(*m.lock(), 2);
+        });
+        assert!(report.executions > 1, "interleavings were explored");
+    }
+
+    #[test]
+    fn release_acquire_publication_is_race_free() {
+        Builder::new().check(|| {
+            let data = std::sync::Arc::new(RaceArray::new(1, 0usize));
+            let flag = std::sync::Arc::new(AtomicUsize::new(0));
+            crate::thread::scope(|s| {
+                let (d, f) = (data.clone(), flag.clone());
+                s.spawn(move || {
+                    d.write(0, 42);
+                    f.store(1, Ordering::Release);
+                });
+                let (d, f) = (data.clone(), flag.clone());
+                s.spawn(move || {
+                    if f.load(Ordering::Acquire) == 1 {
+                        assert_eq!(d.read(0), 42);
+                    }
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn relaxed_publication_is_a_race() {
+        let violation = Builder::new()
+            .explore(|| {
+                let data = std::sync::Arc::new(RaceArray::new(1, 0usize));
+                let flag = std::sync::Arc::new(AtomicUsize::new(0));
+                crate::thread::scope(|s| {
+                    let (d, f) = (data.clone(), flag.clone());
+                    s.spawn(move || {
+                        d.write(0, 42);
+                        f.store(1, Ordering::Relaxed);
+                    });
+                    let (d, f) = (data.clone(), flag.clone());
+                    s.spawn(move || {
+                        if f.load(Ordering::Acquire) == 1 {
+                            d.read(0);
+                        }
+                    });
+                });
+            })
+            .expect_err("relaxed publication must race");
+        assert!(violation.message.contains("data race"), "{violation}");
+    }
+
+    #[test]
+    fn self_deadlock_is_reported() {
+        let violation = Builder::new()
+            .explore(|| {
+                let m = Mutex::new(());
+                let _g = m.lock();
+                let _g2 = m.lock();
+            })
+            .expect_err("double lock must deadlock");
+        assert!(violation.message.contains("deadlock"), "{violation}");
+    }
+
+    #[test]
+    fn assertion_failures_are_violations() {
+        let violation = Builder::new()
+            .explore(|| {
+                let a = AtomicUsize::new(0);
+                assert_eq!(a.load(Ordering::Relaxed), 1, "seeded failure");
+            })
+            .expect_err("assert must fail");
+        assert!(violation.message.contains("panicked"), "{violation}");
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let run = || {
+            Builder::new()
+                .check(|| {
+                    let a = std::sync::Arc::new(AtomicUsize::new(0));
+                    crate::thread::scope(|s| {
+                        for _ in 0..2 {
+                            let a = a.clone();
+                            s.spawn(move || {
+                                a.fetch_add(1, Ordering::Relaxed);
+                                a.load(Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    assert_eq!(a.load(Ordering::Relaxed), 2);
+                })
+                .executions
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn thread_limit_is_enforced() {
+        let violation = Builder::new()
+            .explore(|| {
+                crate::thread::scope(|s| {
+                    for _ in 0..MAX_THREADS {
+                        s.spawn(|| {});
+                    }
+                });
+            })
+            .expect_err("spawning MAX_THREADS children plus root must fail");
+        assert!(violation.message.contains("threads"), "{violation}");
+    }
+}

@@ -58,6 +58,8 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
+pub mod model;
+
 /// The number of worker threads to fan out across: `RAYON_NUM_THREADS` or
 /// the machine's available parallelism.
 fn num_threads() -> usize {
@@ -161,6 +163,12 @@ fn store_run_stats(stats: RunStats) {
 /// scan (`items left == 0`) stays correct even when a worker's `op` panics
 /// mid-chunk: the unwound chunk still counts as "no longer pending" and
 /// sibling workers drain the rest and exit instead of spinning forever.
+///
+/// The decrement must be `Release`: the `Acquire` spin-load in the
+/// termination scan synchronizes-with it, ordering an exiting worker after
+/// every sibling's chunk processing. With `Relaxed` the exit path races
+/// those writes — `rayon::model` re-introduces that exact bug as
+/// `Mutation::RelaxedDecrement` and the model suite proves it is caught.
 struct CountChunk<'a> {
     remaining: &'a AtomicUsize,
     n: usize,
@@ -168,7 +176,7 @@ struct CountChunk<'a> {
 
 impl Drop for CountChunk<'_> {
     fn drop(&mut self) {
-        self.remaining.fetch_sub(self.n, Ordering::Relaxed);
+        self.remaining.fetch_sub(self.n, Ordering::Release);
     }
 }
 

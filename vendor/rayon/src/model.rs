@@ -1,0 +1,328 @@
+//! Loom model of the work-stealing runtime's claim/steal/terminate
+//! protocol.
+//!
+//! This module re-expresses the concurrency skeleton of
+//! `parallel_map_init_deque` and `parallel_map_init_cursor` (see
+//! `lib.rs`) against the vendored [`loom`] shims, so
+//! `tests/deque_model.rs` can *exhaustively* check every bounded
+//! interleaving of 2–3 workers for lost items, double-claims,
+//! non-termination, and torn stats publication — on a container whose
+//! single CPU never produces interesting interleavings at runtime.
+//!
+//! What is modeled (and what is not): items are index ranges, not real
+//! work; per-worker output vectors are dropped (they are thread-local in
+//! the real code); panic-safety of `op` is exercised by the real tests,
+//! not here. Everything that crosses threads is modeled faithfully:
+//! per-worker `Mutex` deques with front-pop/front-split/back-steal, the
+//! `remaining` termination counter with its RAII decrement guard, the
+//! acquire spin-exit, the shared claim cursor of the legacy queue, and
+//! the plain-memory stats cells whose visibility the termination
+//! protocol must order (modeled with [`loom::cell::RaceArray`], which
+//! reports any access not ordered by happens-before).
+//!
+//! [`Mutation`] deliberately re-introduces each bug class the protocol
+//! must exclude; the test suite asserts that the checker catches every
+//! one. In particular [`Mutation::RelaxedDecrement`] restores the exact
+//! bug this PR fixed in `CountChunk::drop` — a `Relaxed` decrement that
+//! the `Acquire` spin-load never synchronizes with — and the checker
+//! reports it as a data race on the stats cells.
+
+use loom::cell::RaceArray;
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Mutex;
+use std::collections::VecDeque;
+
+/// Which queue protocol to model (mirrors `RAYON_QUEUE`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Queue {
+    /// Per-worker deques with lazy front-split and back-steal (default).
+    Deque,
+    /// Legacy shared-cursor chunk queue (`RAYON_QUEUE=cursor`).
+    Cursor,
+}
+
+/// A deliberately re-introduced protocol bug, for mutation tests that
+/// prove the checker actually catches the bug classes it claims to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mutation {
+    /// Faithful protocol — every bounded interleaving must pass.
+    None,
+    /// Deque: decrement the termination counter with `Relaxed` instead of
+    /// `Release` (the pre-fix `CountChunk::drop` bug). Caught as a data
+    /// race: the acquire spin-exit no longer orders the exiting reader
+    /// after the finishing workers' plain-memory writes.
+    RelaxedDecrement,
+    /// Deque: drop the split-off tail instead of pushing it back. Caught
+    /// as non-termination: `remaining` never reaches zero, so the spin
+    /// loops exhaust the operation budget.
+    LoseSplitTail,
+    /// Deque: process a claimed chunk twice. Caught by the per-item
+    /// claim count assertion.
+    DoubleProcess,
+    /// Cursor: claim with a non-atomic load+store instead of
+    /// `fetch_add`. Caught by the chunk-claimed-twice assertion.
+    NonAtomicCursorClaim,
+}
+
+/// Model configuration: protocol, bounded sizes, and seeded mutation.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelCfg {
+    /// Queue protocol under test.
+    pub queue: Queue,
+    /// Worker (model thread) count; keep at 2–3.
+    pub workers: usize,
+    /// Total items, distributed like the real runtime distributes them.
+    pub items: usize,
+    /// Chunk length for splits / pre-chunking.
+    pub chunk_len: usize,
+    /// Seeded bug, or [`Mutation::None`] for the faithful protocol.
+    pub mutation: Mutation,
+    /// Preemption budget for the explorer.
+    pub max_preemptions: usize,
+}
+
+impl ModelCfg {
+    /// Deque-protocol configuration with the default preemption budget.
+    pub fn deque(workers: usize, items: usize, chunk_len: usize) -> Self {
+        ModelCfg {
+            queue: Queue::Deque,
+            workers,
+            items,
+            chunk_len,
+            mutation: Mutation::None,
+            max_preemptions: 2,
+        }
+    }
+
+    /// Cursor-protocol configuration with the default preemption budget.
+    pub fn cursor(workers: usize, items: usize, chunk_len: usize) -> Self {
+        ModelCfg {
+            queue: Queue::Cursor,
+            ..Self::deque(workers, items, chunk_len)
+        }
+    }
+
+    /// Same configuration with a seeded mutation.
+    pub fn with_mutation(mut self, mutation: Mutation) -> Self {
+        self.mutation = mutation;
+        self
+    }
+
+    /// Same configuration with a different preemption budget.
+    pub fn with_preemptions(mut self, n: usize) -> Self {
+        self.max_preemptions = n;
+        self
+    }
+}
+
+/// Model twin of `CountChunk`: RAII decrement of the shared
+/// remaining-items counter. The ordering is a parameter so
+/// [`Mutation::RelaxedDecrement`] can restore the pre-fix bug; the
+/// faithful protocol uses `Release`, matching `CountChunk::drop`.
+struct CountGuard<'a> {
+    remaining: &'a AtomicUsize,
+    n: usize,
+    order: Ordering,
+}
+
+impl Drop for CountGuard<'_> {
+    fn drop(&mut self) {
+        self.remaining.fetch_sub(self.n, self.order);
+    }
+}
+
+/// Exhaustively check every bounded interleaving of the configured
+/// protocol; panics with the failing schedule on a violation.
+pub fn check(cfg: ModelCfg) -> loom::Report {
+    match explore(cfg) {
+        Ok(report) => report,
+        Err(v) => panic!("deque model violation ({cfg:?}): {v}"),
+    }
+}
+
+/// Like [`check`] but returns the first violation as a value, so mutation
+/// tests can assert a seeded bug *is* caught.
+pub fn find_violation(cfg: ModelCfg) -> Option<loom::Violation> {
+    explore(cfg).err()
+}
+
+fn explore(cfg: ModelCfg) -> Result<loom::Report, loom::Violation> {
+    loom::Builder::new()
+        .max_preemptions(cfg.max_preemptions)
+        .explore(move || match cfg.queue {
+            Queue::Deque => run_deque(cfg),
+            Queue::Cursor => run_cursor(cfg),
+        })
+}
+
+/// One execution of the deque protocol under the loom scheduler.
+fn run_deque(cfg: ModelCfg) {
+    let workers = cfg.workers;
+    let items = cfg.items;
+    // Same seeding as the real runtime: one contiguous near-equal segment
+    // per worker, pushed as a single task.
+    let mut deques: Vec<Mutex<VecDeque<(usize, usize)>>> = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for w in 0..workers {
+        let n = items / workers + usize::from(w < items % workers);
+        let mut dq = VecDeque::new();
+        if n > 0 {
+            dq.push_back((start, n));
+        }
+        deques.push(Mutex::new(dq));
+        start += n;
+    }
+    let remaining = AtomicUsize::new(items);
+    // Plain-memory cells: per-item claim counts and per-worker processed
+    // totals (the model twin of `RunStats::items`). Their visibility to
+    // the termination path is exactly what the Release decrement orders.
+    let processed = RaceArray::new(items, 0usize);
+    let stats = RaceArray::new(workers, 0usize);
+    let dec_order = if cfg.mutation == Mutation::RelaxedDecrement {
+        Ordering::Relaxed
+    } else {
+        Ordering::Release
+    };
+
+    loom::thread::scope(|s| {
+        for w in 0..workers {
+            let deques = &deques;
+            let remaining = &remaining;
+            let processed = &processed;
+            let stats = &stats;
+            s.spawn(move || {
+                loop {
+                    // 1. local pop (front)
+                    let mut task = deques[w].lock().pop_front();
+                    // 2. steal scan: back of the first non-empty victim
+                    if task.is_none() {
+                        for v in 1..workers {
+                            let victim = (w + v) % workers;
+                            let stolen = deques[victim].lock().pop_back();
+                            if stolen.is_some() {
+                                task = stolen;
+                                break;
+                            }
+                        }
+                    }
+                    let Some((start, len)) = task else {
+                        // 3. nothing visible: exit iff nothing in flight
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        loom::thread::yield_now();
+                        continue;
+                    };
+                    // 4. lazy split: keep one chunk, push the tail back
+                    let run_len = if len > cfg.chunk_len {
+                        if cfg.mutation != Mutation::LoseSplitTail {
+                            deques[w]
+                                .lock()
+                                .push_front((start + cfg.chunk_len, len - cfg.chunk_len));
+                        }
+                        cfg.chunk_len
+                    } else {
+                        len
+                    };
+                    let guard = CountGuard {
+                        remaining,
+                        n: run_len,
+                        order: dec_order,
+                    };
+                    let passes = if cfg.mutation == Mutation::DoubleProcess {
+                        2
+                    } else {
+                        1
+                    };
+                    for _ in 0..passes {
+                        for i in start..start + run_len {
+                            let prev = processed.update(i, |c| c + 1);
+                            assert_eq!(prev, 0, "item {i} processed twice");
+                        }
+                    }
+                    stats.update(w, |c| c + run_len);
+                    drop(guard);
+                }
+                // Termination-side verification: a worker that observed
+                // `remaining == 0` must be ordered after every sibling's
+                // item and stats writes — this read is a data race unless
+                // the RAII decrement releases.
+                let counts = processed.read_all();
+                assert!(
+                    counts.iter().all(|&c| c == 1),
+                    "lost or duplicated items at exit: {counts:?}"
+                );
+                let per_worker = stats.read_all();
+                let total: usize = per_worker.iter().sum();
+                assert_eq!(total, items, "torn run stats at exit: {per_worker:?}");
+            });
+        }
+    });
+    // Post-join verification (join itself establishes happens-before).
+    let counts = processed.read_all();
+    assert!(
+        counts.iter().all(|&c| c == 1),
+        "lost or duplicated items after join: {counts:?}"
+    );
+}
+
+/// One execution of the legacy cursor protocol under the loom scheduler.
+fn run_cursor(cfg: ModelCfg) {
+    let items = cfg.items;
+    // Same pre-chunking as the real runtime: fixed chunks behind
+    // `Mutex<Option<..>>`, claimed by index from a shared cursor.
+    let mut chunks: Vec<Mutex<Option<(usize, usize)>>> = Vec::new();
+    let mut at = 0usize;
+    while at < items {
+        let len = cfg.chunk_len.min(items - at);
+        chunks.push(Mutex::new(Some((at, len))));
+        at += len;
+    }
+    let nchunks = chunks.len();
+    let cursor = AtomicUsize::new(0);
+    let processed = RaceArray::new(items, 0usize);
+    // Model twin of the shared output-slot table: one completion mark per
+    // chunk, written under a global mutex like the real `slots`.
+    let slots = Mutex::new(vec![false; nchunks]);
+
+    loom::thread::scope(|s| {
+        for _w in 0..cfg.workers {
+            let chunks = &chunks;
+            let cursor = &cursor;
+            let processed = &processed;
+            let slots = &slots;
+            let mutation = cfg.mutation;
+            s.spawn(move || loop {
+                let idx = if mutation == Mutation::NonAtomicCursorClaim {
+                    // Seeded bug: a torn claim (load + store) lets two
+                    // workers claim the same chunk index.
+                    let i = cursor.load(Ordering::Relaxed);
+                    cursor.store(i + 1, Ordering::Relaxed);
+                    i
+                } else {
+                    cursor.fetch_add(1, Ordering::Relaxed)
+                };
+                if idx >= nchunks {
+                    break;
+                }
+                let taken = chunks[idx].lock().take();
+                let (start, len) = taken.expect("chunk claimed twice");
+                for i in start..start + len {
+                    let prev = processed.update(i, |c| c + 1);
+                    assert_eq!(prev, 0, "item {i} processed twice");
+                }
+                slots.lock()[idx] = true;
+            });
+        }
+    });
+    let counts = processed.read_all();
+    assert!(
+        counts.iter().all(|&c| c == 1),
+        "lost or duplicated items after join: {counts:?}"
+    );
+    let done = slots.lock();
+    assert!(
+        done.iter().all(|&d| d),
+        "worker exited without completing every claimed chunk"
+    );
+}
